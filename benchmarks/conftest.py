@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+experiment harness in :mod:`repro.experiments`.  By default each benchmark
+runs a reduced grid (fewer ratios / datasets, small synthetic graphs, short
+training) so that ``pytest benchmarks/ --benchmark-only`` completes in a few
+minutes on a laptop CPU; set the environment variable ``REPRO_BENCH_FULL=1``
+to run the complete grids of the paper at a larger scale.
+
+Each benchmark prints the regenerated table so the numbers can be compared
+with ``EXPERIMENTS.md`` and with the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+#: Scale used by the reduced (default) benchmark grids.
+BENCH_SCALE = ExperimentScale(num_entities=70, epochs=60, iterative_epochs=20,
+                              iterative_rounds=1)
+
+#: Scale used when REPRO_BENCH_FULL=1.
+FULL_SCALE = ExperimentScale(num_entities=150, epochs=100, iterative_epochs=40,
+                             iterative_rounds=2)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return FULL_SCALE if FULL else BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def full_grids() -> bool:
+    return FULL
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark timing and persist its tables.
+
+    The regenerated table is written to ``results/<experiment>.txt`` (plain
+    text) and ``results/<experiment>.json`` so that ``EXPERIMENTS.md`` and
+    downstream analysis can read the numbers without re-running anything.
+    """
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text_path = os.path.join(RESULTS_DIR, f"{result.experiment}.txt")
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_table() + "\n")
+    result.to_json(os.path.join(RESULTS_DIR, f"{result.experiment}.json"))
+    return result

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 3 (left): ablation study of DESAlign.
+
+Runs the full model and its stripped-down variants (per-modality, per-loss
+term, without Semantic Propagation) on DBP15K FR-EN.  Expected shape: the
+full model is at or near the top; removing a modality or Semantic
+Propagation costs measurably more than removing the auxiliary bound terms.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3_ablation
+
+REDUCED_VARIANTS = ("full", "w/o image", "w/o attribute", "w/o graph",
+                    "w/o L_task(0)", "w/o L_m(k)", "w/o PP")
+
+
+def test_fig3_ablation(benchmark, bench_scale, full_grids):
+    variants = None if full_grids else REDUCED_VARIANTS
+    result = run_once(benchmark, run_fig3_ablation, scale=bench_scale,
+                      dataset="DBP15K_FR_EN", variants=variants)
+    print("\n" + result.to_table())
+
+    expected = len(variants) if variants else 10
+    assert len(result.rows) == expected
+    full_row = result.filter(variant="full")[0]
+    # The full model must be competitive with every ablated variant.
+    best_mrr = max(row["MRR"] for row in result.rows)
+    assert full_row["MRR"] >= 0.75 * best_mrr
+    # Dropping the structural modality is the most damaging modality ablation.
+    no_graph = result.filter(variant="w/o graph")[0]
+    assert no_graph["MRR"] <= full_row["MRR"] + 5.0

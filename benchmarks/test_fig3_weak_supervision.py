@@ -1,0 +1,37 @@
+"""Benchmark regenerating Fig. 3 (right): weakly supervised seed-ratio sweep.
+
+Reduced grid: FBDB15K at R_seed in {5%, 15%, 30%}.  Full grid: FBDB15K and
+DBP15K FR-EN over the paper's 1%-30% range.  Expected shape: every model
+improves as supervision grows, and DESAlign maintains a gap over the
+baselines across the sweep.
+"""
+
+from conftest import run_once
+
+from repro.experiments import PROMINENT_MODELS, run_fig3_weak_supervision
+
+
+def test_fig3_weak_supervision(benchmark, bench_scale, full_grids):
+    datasets = ("FBDB15K", "DBP15K_FR_EN") if full_grids else ("FBDB15K",)
+    ratios = (0.01, 0.08, 0.15, 0.23, 0.30) if full_grids else (0.05, 0.15, 0.30)
+    result = run_once(
+        benchmark, run_fig3_weak_supervision,
+        scale=bench_scale, datasets=datasets, seed_ratios=ratios,
+        models=PROMINENT_MODELS,
+    )
+    print("\n" + result.to_table())
+
+    assert len(result.rows) == len(datasets) * len(ratios) * len(PROMINENT_MODELS)
+    for dataset in datasets:
+        # More supervision should help DESAlign: compare the sweep's ends.
+        desalign_curve = [result.filter(dataset=dataset, seed_ratio=r,
+                                        model="DESAlign")[0]["MRR"] for r in ratios]
+        assert desalign_curve[-1] >= desalign_curve[0]
+        # DESAlign stays competitive with the best model at every ratio
+        # (on the scaled-down synthetic splits parity, rather than strict
+        # dominance, is the robust part of the paper's claim).
+        for ratio in ratios:
+            best = result.best_row("MRR", dataset=dataset, seed_ratio=ratio)
+            desalign = result.filter(dataset=dataset, seed_ratio=ratio,
+                                     model="DESAlign")[0]
+            assert desalign["MRR"] >= 0.75 * best["MRR"]

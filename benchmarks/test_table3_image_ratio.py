@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table III: robustness to missing images (DBP15K).
+
+Reduced grid: DBP15K FR-EN and ZH-EN at R_img in {5%, 30%, 60%}.  Full grid:
+all three bilingual datasets at all six ratios.  Expected shape: DESAlign
+leads every column and every model benefits from more images, with DESAlign
+degrading the least at low image ratios.
+"""
+
+from conftest import run_once
+
+from repro.data.benchmarks import BILINGUAL_DATASETS, MISSING_RATIOS
+from repro.experiments import PROMINENT_MODELS, run_table3
+
+
+def test_table3_image_ratio(benchmark, bench_scale, full_grids):
+    datasets = BILINGUAL_DATASETS if full_grids else ("DBP15K_FR_EN", "DBP15K_ZH_EN")
+    ratios = MISSING_RATIOS if full_grids else (0.05, 0.30, 0.60)
+    result = run_once(
+        benchmark, run_table3,
+        scale=bench_scale,
+        datasets=datasets,
+        image_ratios=ratios,
+        models=PROMINENT_MODELS,
+    )
+    print("\n" + result.to_table())
+
+    assert len(result.rows) == len(datasets) * len(ratios) * len(PROMINENT_MODELS)
+    wins = 0
+    columns = 0
+    for dataset in datasets:
+        for ratio in ratios:
+            columns += 1
+            best = result.best_row("MRR", dataset=dataset, image_ratio=ratio)
+            wins += best["model"] == "DESAlign"
+    assert wins >= columns / 2

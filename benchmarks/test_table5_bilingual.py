@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table V: bilingual main results (DBP15K).
+
+Reduced grid: DBP15K FR-EN only, non-iterative block plus an iterative
+DESAlign/MEAformer comparison.  Full grid: all three bilingual datasets with
+the full model pools.  Expected shape: DESAlign first and MEAformer
+runner-up in both blocks.
+"""
+
+from conftest import run_once
+
+from repro.data.benchmarks import BILINGUAL_DATASETS
+from repro.experiments import run_table5
+from repro.experiments.table5_bilingual import NON_ITERATIVE_MODELS
+
+
+def test_table5_bilingual(benchmark, bench_scale, full_grids):
+    datasets = BILINGUAL_DATASETS if full_grids else ("DBP15K_FR_EN",)
+    iterative_models = ("EVA", "MCLEA", "MEAformer", "DESAlign") if full_grids \
+        else ("MEAformer", "DESAlign")
+    result = run_once(
+        benchmark, run_table5,
+        scale=bench_scale,
+        datasets=datasets,
+        non_iterative_models=NON_ITERATIVE_MODELS,
+        iterative_models=iterative_models,
+        include_iterative=True,
+    )
+    print("\n" + result.to_table())
+
+    for dataset in datasets:
+        non_iterative = result.filter(dataset=dataset, strategy="non-iterative")
+        assert len(non_iterative) == len(NON_ITERATIVE_MODELS)
+        best = max(non_iterative, key=lambda row: row["MRR"])
+        desalign = result.filter(dataset=dataset, strategy="non-iterative",
+                                 model="DESAlign")[0]
+        assert desalign["MRR"] >= 0.8 * best["MRR"]
+        iterative = result.filter(dataset=dataset, strategy="iterative")
+        assert len(iterative) == len(iterative_models)

@@ -1,0 +1,96 @@
+"""Align two user-provided multi-modal knowledge graphs.
+
+This example shows the full path a downstream user takes to align their own
+data rather than one of the bundled benchmark replicas:
+
+1. build :class:`~repro.kg.MultiModalKG` objects from raw triples,
+   attribute facts and (optionally partial) image features,
+2. wrap them in a :class:`~repro.kg.KGPair` with whatever seed alignments
+   are available,
+3. persist / reload the task in the DBP15K-style on-disk format,
+4. train DESAlign with the iterative (bootstrapping) strategy and inspect
+   the discovered alignment pairs.
+
+The graphs here are tiny and hand-made so the script runs in seconds; swap
+in your own triples to use it for real data.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    DESAlign,
+    DESAlignConfig,
+    Trainer,
+    TrainingConfig,
+    prepare_task,
+)
+from repro.core import greedy_one_to_one
+from repro.kg import AlignmentPair, KGPair, MultiModalKG, load_pair_dbp_format, save_pair_dbp_format
+
+
+def build_demo_graph(name: str, rng: np.random.Generator, num_entities: int = 60,
+                     drop_images: float = 0.3) -> MultiModalKG:
+    """A small community-structured MMKG with partially missing images."""
+    relation_triples = []
+    for entity in range(num_entities):
+        # Ring structure plus a few shortcuts keeps the graph connected.
+        relation_triples.append((entity, entity % 4, (entity + 1) % num_entities))
+        if entity % 5 == 0:
+            relation_triples.append((entity, 4, (entity + 7) % num_entities))
+    attribute_triples = [(entity, entity % 6, f"attr-{entity % 6}")
+                         for entity in range(num_entities) if entity % 3 != 0]
+    image_features = {entity: rng.normal(size=8) + entity % 4
+                      for entity in range(num_entities)
+                      if rng.random() > drop_images}
+    return MultiModalKG.from_triples(
+        num_entities=num_entities,
+        relation_triples=relation_triples,
+        attribute_triples=attribute_triples,
+        image_features=image_features,
+        num_relations=5,
+        num_attributes=6,
+        name=name,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    source = build_demo_graph("my-source-kg", rng, drop_images=0.2)
+    target = build_demo_graph("my-target-kg", rng, drop_images=0.5)
+
+    # Gold alignments: here the identity mapping; in practice these come
+    # from curators or existing owl:sameAs links.
+    alignments = [AlignmentPair(i, i) for i in range(source.num_entities)]
+    pair = KGPair(source=source, target=target, alignments=alignments,
+                  seed_ratio=0.3, name="custom-demo")
+
+    # Persist in the DBP15K-style directory layout and load it back, which
+    # is how a real dataset on disk would enter the pipeline.
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_pair_dbp_format(pair, Path(tmp) / "custom-demo")
+        pair = load_pair_dbp_format(directory)
+
+    task = prepare_task(pair, seed=0)
+    model = DESAlign(task, DESAlignConfig(hidden_dim=32, propagation_iters=2, seed=0))
+    training = TrainingConfig(epochs=60, eval_every=0,
+                              iterative=True, iterative_rounds=1, iterative_epochs=20,
+                              seed=0)
+    result = Trainer(model, task, training).fit()
+    print(f"Test metrics after iterative training: {result.metrics}")
+    print(f"Pseudo-seed pairs added by the iterative strategy: "
+          f"{result.history.pseudo_pairs}")
+
+    # Produce a strict one-to-one alignment for export.
+    matches = greedy_one_to_one(model.similarity())
+    correct = sum(1 for source_id, target_id in matches if source_id == target_id)
+    print(f"Greedy one-to-one matching: {correct}/{len(matches)} pairs correct")
+    print("First ten predicted pairs:", matches[:10])
+
+
+if __name__ == "__main__":
+    main()

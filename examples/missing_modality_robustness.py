@@ -1,0 +1,71 @@
+"""Robustness to missing modal attributes (the scenario of Tables II and III).
+
+The paper's central claim is that DESAlign stays accurate when a large
+fraction of entities lack visual or textual attributes, because (a) the MMSL
+objective stops the encoder from over-fitting to imputed modality noise and
+(b) Semantic Propagation interpolates the missing semantics from existing
+features instead of relying on a predefined random distribution.
+
+This example sweeps the image ratio on a DBP15K-FR-EN-style split and
+compares DESAlign against MEAformer, reporting H@1 / MRR per ratio together
+with the isolated contribution of Semantic Propagation.
+
+Run with ``python examples/missing_modality_robustness.py`` (a couple of
+minutes on CPU).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DESAlign,
+    DESAlignConfig,
+    Evaluator,
+    Trainer,
+    TrainingConfig,
+    load_benchmark,
+    prepare_task,
+)
+from repro.baselines import MEAformer
+from repro.experiments import format_table
+
+IMAGE_RATIOS = (0.05, 0.30, 0.60)
+NUM_ENTITIES = 100
+EPOCHS = 60
+
+
+def main() -> None:
+    rows = []
+    for image_ratio in IMAGE_RATIOS:
+        pair = load_benchmark("DBP15K_FR_EN", seed_ratio=0.3, num_entities=NUM_ENTITIES,
+                              image_ratio=image_ratio)
+        task = prepare_task(pair, seed=0)
+        evaluator = Evaluator(task)
+
+        meaformer = MEAformer(task)
+        Trainer(meaformer, task, TrainingConfig(epochs=EPOCHS, eval_every=0, seed=0)).fit()
+        meaformer_metrics = evaluator.evaluate_model(meaformer)
+
+        desalign = DESAlign(task, DESAlignConfig(hidden_dim=32, propagation_iters=2, seed=0))
+        Trainer(desalign, task, TrainingConfig(epochs=EPOCHS, eval_every=0, seed=0)).fit()
+        with_propagation = evaluator.evaluate_model(desalign, use_propagation=True)
+        without_propagation = evaluator.evaluate_model(desalign, use_propagation=False)
+
+        rows.append({
+            "image_ratio": image_ratio,
+            "MEAformer H@1": 100 * meaformer_metrics.hits_at_1,
+            "DESAlign H@1": 100 * with_propagation.hits_at_1,
+            "MEAformer MRR": 100 * meaformer_metrics.mrr,
+            "DESAlign MRR": 100 * with_propagation.mrr,
+            "DESAlign MRR (no SP)": 100 * without_propagation.mrr,
+        })
+        print(f"finished image ratio {image_ratio:.0%}")
+
+    print("\nRobustness to missing images (DBP15K FR-EN style split):")
+    print(format_table(rows))
+    print("\nReading guide: DESAlign should stay ahead of MEAformer at every")
+    print("ratio, and the 'no SP' column shows how much of that robustness is")
+    print("contributed by Semantic Propagation alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: train DESAlign on a synthetic FBDB15K-style benchmark split.
+
+This is the smallest end-to-end use of the public API:
+
+1. materialise a benchmark split (a pair of multi-modal knowledge graphs
+   with seed alignments),
+2. prepare it for training (modal features, adjacency, Laplacian, splits),
+3. train DESAlign with the MMSL objective,
+4. decode with Semantic Propagation and report H@1 / H@10 / MRR.
+
+Run with ``python examples/quickstart.py``; it finishes in well under a
+minute on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DESAlign,
+    DESAlignConfig,
+    Evaluator,
+    Trainer,
+    TrainingConfig,
+    load_benchmark,
+    prepare_task,
+)
+
+
+def main() -> None:
+    # 1. A scaled-down synthetic replica of the FB15K-DB15K task with 20%
+    #    of the gold alignments revealed as training seeds.
+    pair = load_benchmark("FBDB15K", seed_ratio=0.2, num_entities=120)
+    print("Dataset statistics (Table I style):")
+    for side, stats in pair.statistics().items():
+        printable = {key: round(value, 3) for key, value in stats.items()}
+        print(f"  {side}: {printable}")
+
+    # 2. Prepare dense features, adjacency matrices and the train/test split.
+    task = prepare_task(pair, seed=0)
+
+    # 3. Train DESAlign.
+    model = DESAlign(task, DESAlignConfig(hidden_dim=32, propagation_iters=2, seed=0))
+    trainer = Trainer(model, task, TrainingConfig(epochs=80, eval_every=20, seed=0))
+    result = trainer.fit()
+
+    # 4. Report metrics, with and without the Semantic Propagation decoder.
+    evaluator = Evaluator(task)
+    print(f"\nDESAlign ({model.num_parameters()} parameters)")
+    print(f"  trained in {result.train_seconds:.1f}s over {len(result.history.losses)} epochs")
+    print(f"  with propagation:    {evaluator.evaluate_model(model, use_propagation=True)}")
+    print(f"  without propagation: {evaluator.evaluate_model(model, use_propagation=False)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Use Semantic Propagation as a plug-in decoder for another MMEA model.
+
+Section V-E of the paper points out that Semantic Propagation involves no
+learning — it is a linear, CPU-friendly post-processing step — and can
+therefore be bolted onto *any* existing aligner's embeddings.  This example
+trains the MEAformer baseline, then decodes its embeddings (a) with plain
+cosine similarity and (b) through Semantic Propagation, and reports the
+difference on a split with many missing images.
+
+It also sweeps the number of propagation rounds, regenerating the shape of
+the paper's Figure 4 for a model the propagation was never trained with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Evaluator, Trainer, TrainingConfig, load_benchmark, prepare_task
+from repro.autograd import no_grad
+from repro.baselines import MEAformer
+from repro.core import SemanticPropagation
+from repro.experiments import format_table
+
+
+def main() -> None:
+    pair = load_benchmark("FBDB15K", seed_ratio=0.3, num_entities=100,
+                          image_ratio=0.2, text_ratio=0.3)
+    task = prepare_task(pair, seed=0)
+    evaluator = Evaluator(task)
+
+    model = MEAformer(task)
+    Trainer(model, task, TrainingConfig(epochs=60, eval_every=0, seed=0)).fit()
+    baseline_metrics = evaluator.evaluate_model(model)
+    print(f"MEAformer with plain cosine decoding: {baseline_metrics}")
+
+    # Pull the trained joint embeddings out of the baseline and identify the
+    # semantically consistent entities to act as propagation boundaries.
+    with no_grad():
+        source_embeddings = model.joint_embedding("source").numpy()
+        target_embeddings = model.joint_embedding("target").numpy()
+    source_consistent, _, _ = task.source.features.consistency_partition()
+    target_consistent, _, _ = task.target.features.consistency_partition()
+    source_known = np.zeros(task.source.num_entities, dtype=bool)
+    target_known = np.zeros(task.target.num_entities, dtype=bool)
+    source_known[source_consistent] = True
+    target_known[target_consistent] = True
+
+    rows = []
+    for iterations in range(6):
+        decoder = SemanticPropagation(iterations=iterations)
+        propagation = decoder(source_embeddings, target_embeddings,
+                              task.source.adjacency, task.target.adjacency,
+                              source_known=source_known, target_known=target_known)
+        metrics = evaluator.evaluate_similarity(propagation.final_similarity())
+        rows.append({"propagation rounds": iterations,
+                     "H@1": 100 * metrics.hits_at_1,
+                     "H@10": 100 * metrics.hits_at_10,
+                     "MRR": 100 * metrics.mrr})
+
+    print("\nSemantic Propagation as a plug-in decoder for MEAformer embeddings:")
+    print(format_table(rows))
+    print("\nRounds = 0 is the plain cosine decoder; a small number of rounds")
+    print("should lift H@1/MRR on this high-missing-modality split, and too")
+    print("many rounds drift back down as propagation over-smooths.")
+
+
+if __name__ == "__main__":
+    main()

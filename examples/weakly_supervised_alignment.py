@@ -1,0 +1,62 @@
+"""Weakly supervised entity alignment (the setting of Fig. 3, right).
+
+Real MMKG integration projects rarely have 30% of gold alignments available
+as seeds.  This example sweeps the seed ratio from 1% to 30% on an
+FBDB15K-style split, trains DESAlign at each ratio — optionally with the
+iterative bootstrapping strategy that promotes mutual nearest neighbours to
+pseudo-seeds — and prints the resulting accuracy curve.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DESAlign,
+    DESAlignConfig,
+    Trainer,
+    TrainingConfig,
+    load_benchmark,
+    prepare_task,
+)
+from repro.experiments import format_table
+
+SEED_RATIOS = (0.01, 0.08, 0.15, 0.30)
+NUM_ENTITIES = 100
+EPOCHS = 60
+
+
+def train(task, iterative: bool):
+    model = DESAlign(task, DESAlignConfig(hidden_dim=32, propagation_iters=2, seed=0))
+    training = TrainingConfig(epochs=EPOCHS, eval_every=0, seed=0,
+                              iterative=iterative, iterative_rounds=1,
+                              iterative_epochs=20)
+    return Trainer(model, task, training).fit()
+
+
+def main() -> None:
+    rows = []
+    for seed_ratio in SEED_RATIOS:
+        pair = load_benchmark("FBDB15K", seed_ratio=seed_ratio, num_entities=NUM_ENTITIES)
+        task = prepare_task(pair, seed=0)
+        basic = train(task, iterative=False)
+        iterative = train(task, iterative=True)
+        rows.append({
+            "seed_ratio": seed_ratio,
+            "seeds": len(task.train_pairs),
+            "basic H@1": 100 * basic.metrics.hits_at_1,
+            "basic MRR": 100 * basic.metrics.mrr,
+            "iterative H@1": 100 * iterative.metrics.hits_at_1,
+            "iterative MRR": 100 * iterative.metrics.mrr,
+            "pseudo pairs": iterative.history.pseudo_pairs[-1]
+            if iterative.history.pseudo_pairs else 0,
+        })
+        print(f"finished seed ratio {seed_ratio:.0%}")
+
+    print("\nWeakly supervised DESAlign on an FBDB15K-style split:")
+    print(format_table(rows))
+    print("\nAccuracy should rise with the seed ratio, and the iterative")
+    print("strategy should recover part of the gap at the smallest ratios by")
+    print("bootstrapping pseudo-seed pairs from mutual nearest neighbours.")
+
+
+if __name__ == "__main__":
+    main()

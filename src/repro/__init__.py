@@ -1,0 +1,62 @@
+"""Reproduction of DESAlign (ICDE 2024): Dirichlet Energy Driven Robust
+Multi-Modal Entity Alignment.
+
+The public API is organised in layers:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` — numpy autodiff and NN substrate,
+* :mod:`repro.kg` / :mod:`repro.data` — multi-modal KG structures, synthetic
+  benchmark datasets and modal feature construction,
+* :mod:`repro.core` — the DESAlign model, MMSL objective, Semantic
+  Propagation and the shared training loop,
+* :mod:`repro.baselines` — EVA, MCLEA, MEAformer and simpler baselines,
+* :mod:`repro.eval` / :mod:`repro.experiments` — metrics and the per
+  table/figure experiment harness.
+
+Quickstart::
+
+    from repro import load_benchmark, prepare_task, DESAlign, Trainer
+
+    pair = load_benchmark("FBDB15K", seed_ratio=0.2)
+    task = prepare_task(pair)
+    model = DESAlign(task)
+    result = Trainer(model, task).fit()
+    print(result.metrics)
+"""
+
+from .core import (
+    DESAlign,
+    DESAlignConfig,
+    TrainingConfig,
+    Trainer,
+    TrainingResult,
+    SemanticPropagation,
+    prepare_task,
+    PreparedTask,
+)
+from .data import load_benchmark, benchmark_suite, SyntheticPairConfig, generate_pair
+from .eval import AlignmentMetrics, evaluate_alignment, Evaluator
+from .kg import MultiModalKG, KGPair, AlignmentPair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DESAlign",
+    "DESAlignConfig",
+    "TrainingConfig",
+    "Trainer",
+    "TrainingResult",
+    "SemanticPropagation",
+    "prepare_task",
+    "PreparedTask",
+    "load_benchmark",
+    "benchmark_suite",
+    "SyntheticPairConfig",
+    "generate_pair",
+    "AlignmentMetrics",
+    "evaluate_alignment",
+    "Evaluator",
+    "MultiModalKG",
+    "KGPair",
+    "AlignmentPair",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Numpy-based reverse-mode automatic differentiation substrate."""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .functional import (
+    softmax,
+    log_softmax,
+    layer_norm,
+    dropout,
+    l2_normalize,
+    cosine_similarity_matrix,
+    cross_entropy_with_logits,
+    mse_loss,
+)
+from .gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "dropout",
+    "l2_normalize",
+    "cosine_similarity_matrix",
+    "cross_entropy_with_logits",
+    "mse_loss",
+    "numerical_gradient",
+    "check_gradients",
+]

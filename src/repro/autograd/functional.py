@@ -1,0 +1,81 @@
+"""Differentiable functional building blocks used across the model zoo.
+
+These functions compose the primitive :class:`~repro.autograd.tensor.Tensor`
+operations into the higher-level pieces required by DESAlign and the
+baselines: numerically stable softmax / log-softmax, layer normalisation,
+dropout, L2 normalisation, cosine-similarity matrices and cross entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "dropout",
+    "l2_normalize",
+    "cosine_similarity_matrix",
+    "cross_entropy_with_logits",
+    "mse_loss",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def layer_norm(x: Tensor, gain: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension with affine parameters."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalised = centered / (variance + eps).sqrt()
+    return normalised * gain + bias
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity at evaluation time."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise rows of ``x`` to unit L2 norm."""
+    return x / x.norm(axis=axis, keepdims=True, eps=eps)
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """Pairwise cosine similarity between rows of ``a`` and rows of ``b``."""
+    return l2_normalize(a) @ l2_normalize(b).T
+
+
+def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross entropy of integer ``targets`` under row-wise ``logits``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[(rows, targets)]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between two tensors."""
+    target = Tensor.ensure(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()

@@ -1,0 +1,49 @@
+"""Baseline entity-alignment models re-implemented on the shared substrate.
+
+The registry maps the model names used in the paper's tables to factory
+callables accepting a :class:`~repro.core.task.PreparedTask`, so the
+experiment harness can instantiate any row of any table uniformly.
+"""
+
+from __future__ import annotations
+
+from ..core.model import DESAlign
+from ..core.task import PreparedTask
+from .base import BaselineConfig, ModalBaselineModel
+from .eva import EVA
+from .mclea import MCLEA
+from .meaformer import MEAformer
+from .gcn_align import GCNAlign
+from .transe import TransE
+from .poe import PoE
+
+__all__ = [
+    "BaselineConfig",
+    "ModalBaselineModel",
+    "EVA",
+    "MCLEA",
+    "MEAformer",
+    "GCNAlign",
+    "TransE",
+    "PoE",
+    "MODEL_REGISTRY",
+    "build_model",
+]
+
+#: Name -> constructor for every aligner usable by the experiment harness.
+MODEL_REGISTRY = {
+    "TransE": TransE,
+    "GCN-align": GCNAlign,
+    "PoE": PoE,
+    "EVA": EVA,
+    "MCLEA": MCLEA,
+    "MEAformer": MEAformer,
+    "DESAlign": DESAlign,
+}
+
+
+def build_model(name: str, task: PreparedTask, **kwargs):
+    """Instantiate a registered aligner by its paper-table name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; registered: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](task, **kwargs)

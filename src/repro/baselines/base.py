@@ -1,0 +1,133 @@
+"""Shared infrastructure for the baseline entity-alignment models.
+
+Every baseline implements the same minimal aligner interface used by
+:class:`repro.core.trainer.Trainer`:
+
+* ``loss(source_index, target_index)`` — training loss over seed pairs,
+* ``similarity()`` — full source×target similarity matrix for decoding,
+* ``parameters()`` / ``num_parameters()`` — inherited from ``Module``.
+
+:class:`ModalBaselineModel` factors the plumbing common to the multi-modal
+baselines (EVA, MCLEA, MEAformer, PoE): per-modality FC projections,
+optional structural GNN channel and the contrastive loss helper.  The
+specific fusion and objective of each published method live in their own
+modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..core.alignment import cosine_similarity
+from ..core.config import MODALITY_ORDER
+from ..core.losses import bidirectional_contrastive_loss
+from ..core.task import PreparedTask
+from ..nn import GAT, GCN, Linear, Module, ModuleDict, Parameter, init
+
+__all__ = ["BaselineConfig", "ModalBaselineModel"]
+
+
+class BaselineConfig:
+    """Light-weight hyper-parameter bundle shared by the baselines."""
+
+    def __init__(self, hidden_dim: int = 32, temperature: float = 0.1,
+                 gnn: str = "gcn", gnn_layers: int = 2, gnn_heads: int = 2,
+                 modalities: tuple[str, ...] = MODALITY_ORDER, seed: int = 0):
+        if hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        if gnn not in {"gcn", "gat", "none"}:
+            raise ValueError("gnn must be one of 'gcn', 'gat', 'none'")
+        unknown = set(modalities) - set(MODALITY_ORDER)
+        if unknown:
+            raise ValueError(f"unknown modalities: {sorted(unknown)}")
+        self.hidden_dim = hidden_dim
+        self.temperature = temperature
+        self.gnn = gnn
+        self.gnn_layers = gnn_layers
+        self.gnn_heads = gnn_heads
+        self.modalities = tuple(modalities)
+        self.seed = seed
+
+
+class ModalBaselineModel(Module):
+    """Base class providing modality encoders and decoding for baselines."""
+
+    name = "baseline"
+
+    def __init__(self, task: PreparedTask, config: BaselineConfig | None = None):
+        super().__init__()
+        self.task = task
+        self.config = config or BaselineConfig()
+        rng = np.random.default_rng(self.config.seed)
+        hidden = self.config.hidden_dim
+
+        self._structure_keys: dict[str, str] = {}
+        for side, prepared in (("source", task.source), ("target", task.target)):
+            key = f"structure_{side}"
+            self._parameters[key] = Parameter(
+                init.normal(rng, (prepared.num_entities, hidden), std=0.3))
+            self._structure_keys[side] = key
+
+        if "graph" in self.config.modalities and self.config.gnn == "gat":
+            self.gnn = GAT(hidden, self.config.gnn_layers, self.config.gnn_heads, rng)
+        elif "graph" in self.config.modalities and self.config.gnn == "gcn":
+            self.gnn = GCN(hidden, self.config.gnn_layers, rng)
+        else:
+            self.gnn = None
+
+        self.projections = ModuleDict()
+        for modality in self.config.modalities:
+            if modality == "graph":
+                continue
+            self.projections[modality] = Linear(task.feature_dims[modality], hidden, rng)
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+    def _prepared(self, side: str):
+        return self.task.source if side == "source" else self.task.target
+
+    def modal_embeddings(self, side: str) -> dict[str, Tensor]:
+        """Per-modality hidden embeddings for one graph."""
+        prepared = self._prepared(side)
+        embeddings: dict[str, Tensor] = {}
+        for modality in self.config.modalities:
+            if modality == "graph":
+                structure = self._parameters[self._structure_keys[side]]
+                if isinstance(self.gnn, GCN):
+                    embeddings["graph"] = self.gnn(structure, prepared.normalized_adjacency)
+                elif isinstance(self.gnn, GAT):
+                    embeddings["graph"] = self.gnn(structure, prepared.adjacency)
+                else:
+                    embeddings["graph"] = structure
+            else:
+                embeddings[modality] = self.projections[modality](
+                    Tensor(prepared.features.features[modality]))
+        return embeddings
+
+    def joint_embedding(self, side: str) -> Tensor:
+        """Joint entity embedding used for decoding; overridden per baseline."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Aligner interface
+    # ------------------------------------------------------------------
+    def contrastive(self, source_embeddings: Tensor, target_embeddings: Tensor,
+                    source_index: np.ndarray, target_index: np.ndarray,
+                    pair_weights=None) -> Tensor:
+        """Bi-directional in-batch contrastive loss at this baseline's temperature."""
+        return bidirectional_contrastive_loss(
+            source_embeddings, target_embeddings, source_index, target_index,
+            self.config.temperature, pair_weights=pair_weights)
+
+    def loss(self, source_index: np.ndarray, target_index: np.ndarray):
+        raise NotImplementedError
+
+    def similarity(self, use_propagation: bool = False) -> np.ndarray:
+        """Cosine similarity between joint embeddings (no propagation decoder)."""
+        with no_grad():
+            source = self.joint_embedding("source").numpy()
+            target = self.joint_embedding("target").numpy()
+        return cosine_similarity(source, target)

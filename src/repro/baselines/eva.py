@@ -1,0 +1,48 @@
+"""EVA baseline (Liu et al., AAAI 2021): visual-pivoted entity alignment.
+
+EVA fuses the modalities with *global* learnable modality weights (a single
+softmax-normalised scalar per modality, shared by every entity) and trains a
+contrastive alignment objective on the fused embedding only.  Compared with
+MCLEA / MEAformer / DESAlign it has no per-entity modality weighting and no
+intra-modal objectives, which is why it degrades most under semantic
+inconsistency (cf. Tables II-IV of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, l2_normalize, softmax
+from ..core.task import PreparedTask
+from ..nn import Parameter
+from .base import BaselineConfig, ModalBaselineModel
+
+__all__ = ["EVA"]
+
+
+class EVA(ModalBaselineModel):
+    """EVA: weighted modality concatenation with a fused contrastive loss."""
+
+    name = "EVA"
+
+    def __init__(self, task: PreparedTask, config: BaselineConfig | None = None):
+        config = config or BaselineConfig(gnn="gcn")
+        super().__init__(task, config)
+        self.modality_logits = Parameter(np.zeros(len(self.config.modalities)))
+
+    def global_modality_weights(self) -> Tensor:
+        """Softmax-normalised global modality weights (one scalar per modality)."""
+        return softmax(self.modality_logits, axis=-1)
+
+    def joint_embedding(self, side: str) -> Tensor:
+        modal = self.modal_embeddings(side)
+        weights = self.global_modality_weights()
+        weighted = []
+        for index, modality in enumerate(self.config.modalities):
+            weighted.append(l2_normalize(modal[modality]) * weights[index])
+        return Tensor.concat(weighted, axis=-1)
+
+    def loss(self, source_index: np.ndarray, target_index: np.ndarray) -> Tensor:
+        source = self.joint_embedding("source")
+        target = self.joint_embedding("target")
+        return self.contrastive(source, target, source_index, target_index)

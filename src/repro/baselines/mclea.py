@@ -1,0 +1,64 @@
+"""MCLEA baseline (Lin et al., COLING 2022): multi-modal contrastive learning.
+
+MCLEA adds intra-modal contrastive objectives (one per modality) on top of a
+joint-embedding contrastive loss.  Modalities are fused by concatenation
+with global learnable weights; unlike MEAformer / DESAlign there is no
+cross-modal attention and therefore no per-entity confidence, and missing
+modal features remain whatever the predefined-distribution imputation
+produced — the behaviour whose noise-sensitivity the paper analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, l2_normalize, softmax
+from ..core.task import PreparedTask
+from ..nn import Parameter
+from .base import BaselineConfig, ModalBaselineModel
+
+__all__ = ["MCLEA"]
+
+
+class MCLEA(ModalBaselineModel):
+    """MCLEA: joint + intra-modal contrastive objectives with global weights."""
+
+    name = "MCLEA"
+
+    def __init__(self, task: PreparedTask, config: BaselineConfig | None = None,
+                 modal_loss_weight: float = 1.0):
+        config = config or BaselineConfig(gnn="gat")
+        super().__init__(task, config)
+        self.modal_loss_weight = modal_loss_weight
+        self.modality_logits = Parameter(np.zeros(len(self.config.modalities)))
+
+    def global_modality_weights(self) -> Tensor:
+        return softmax(self.modality_logits, axis=-1)
+
+    def joint_embedding(self, side: str) -> Tensor:
+        modal = self.modal_embeddings(side)
+        weights = self.global_modality_weights()
+        weighted = []
+        for index, modality in enumerate(self.config.modalities):
+            weighted.append(l2_normalize(modal[modality]) * weights[index])
+        return Tensor.concat(weighted, axis=-1)
+
+    def loss(self, source_index: np.ndarray, target_index: np.ndarray) -> Tensor:
+        source_modal = self.modal_embeddings("source")
+        target_modal = self.modal_embeddings("target")
+        weights = self.global_modality_weights()
+
+        weighted_source = []
+        weighted_target = []
+        for index, modality in enumerate(self.config.modalities):
+            weighted_source.append(l2_normalize(source_modal[modality]) * weights[index])
+            weighted_target.append(l2_normalize(target_modal[modality]) * weights[index])
+        joint_source = Tensor.concat(weighted_source, axis=-1)
+        joint_target = Tensor.concat(weighted_target, axis=-1)
+
+        total = self.contrastive(joint_source, joint_target, source_index, target_index)
+        for modality in self.config.modalities:
+            modal_loss = self.contrastive(source_modal[modality], target_modal[modality],
+                                          source_index, target_index)
+            total = total + modal_loss * self.modal_loss_weight
+        return total

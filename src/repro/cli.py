@@ -1,0 +1,108 @@
+"""Command-line interface for the DESAlign reproduction.
+
+Three sub-commands cover the common workflows without writing any Python:
+
+``python -m repro.cli train``
+    Train one aligner (DESAlign or a baseline) on a benchmark split and
+    print its test metrics.
+
+``python -m repro.cli experiment``
+    Run one of the registered table/figure experiments at a chosen scale and
+    print (and optionally save) the regenerated table.
+
+``python -m repro.cli datasets``
+    List the benchmark presets and the 60-split evaluation suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import MODEL_REGISTRY
+from .data.benchmarks import ALL_DATASETS, benchmark_suite
+from .experiments import ExperimentScale, list_experiments, run_experiment
+from .experiments.runner import build_task, run_cell
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of DESAlign (ICDE 2024): training, experiments, datasets.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train one aligner on one benchmark split")
+    train.add_argument("--model", default="DESAlign", choices=sorted(MODEL_REGISTRY))
+    train.add_argument("--dataset", default="FBDB15K", choices=ALL_DATASETS)
+    train.add_argument("--seed-ratio", type=float, default=None)
+    train.add_argument("--image-ratio", type=float, default=None)
+    train.add_argument("--text-ratio", type=float, default=None)
+    train.add_argument("--entities", type=int, default=100)
+    train.add_argument("--epochs", type=int, default=80)
+    train.add_argument("--iterative", action="store_true")
+    train.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures")
+    experiment.add_argument("experiment_id",
+                            choices=[key for key, _ in list_experiments()])
+    experiment.add_argument("--entities", type=int, default=100)
+    experiment.add_argument("--epochs", type=int, default=60)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--output", default=None,
+                            help="optional path for a JSON copy of the results")
+
+    subparsers.add_parser("datasets", help="list benchmark presets and the 60-split suite")
+    return parser
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs, seed=args.seed)
+    task = build_task(args.dataset, scale, seed_ratio=args.seed_ratio,
+                      image_ratio=args.image_ratio, text_ratio=args.text_ratio)
+    result = run_cell(args.model, task, scale, iterative=args.iterative)
+    print(f"model={args.model} dataset={args.dataset} "
+          f"seeds={len(task.train_pairs)} test={len(task.test_pairs)}")
+    print(f"metrics: {result.metrics}")
+    print(f"train time: {result.train_seconds:.1f}s, parameters: {result.num_parameters}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs, seed=args.seed)
+    result = run_experiment(args.experiment_id, scale=scale)
+    print(result.to_table())
+    if args.output:
+        result.to_json(args.output)
+        print(f"\nsaved JSON results to {args.output}")
+    return 0
+
+
+def _command_datasets() -> int:
+    print("Benchmark presets:")
+    for dataset in ALL_DATASETS:
+        print(f"  {dataset}")
+    suite = benchmark_suite()
+    print(f"\nEvaluation suite ({len(suite)} splits):")
+    for split in suite:
+        print(f"  {split.identifier}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "datasets":
+        return _command_datasets()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""DESAlign core: configuration, encoder, losses, propagation, model and trainer."""
+
+from .config import DESAlignConfig, TrainingConfig
+from .task import PreparedSide, PreparedTask, prepare_task
+from .encoder import EncoderOutput, MultiModalEncoder
+from .losses import (
+    bidirectional_contrastive_loss,
+    dirichlet_energy_tensor,
+    energy_bound_penalty,
+    LossBreakdown,
+    MultiModalSemanticLoss,
+)
+from .propagation import SemanticPropagation, PropagationResult, closed_form_interpolation
+from .alignment import cosine_similarity, csls_similarity, mutual_nearest_pairs, greedy_one_to_one
+from .energy import EnergyMonitor, EnergySnapshot, verify_layer_bounds
+from .model import DESAlign
+from .trainer import Trainer, TrainingResult, TrainingHistory
+
+__all__ = [
+    "DESAlignConfig",
+    "TrainingConfig",
+    "PreparedSide",
+    "PreparedTask",
+    "prepare_task",
+    "EncoderOutput",
+    "MultiModalEncoder",
+    "bidirectional_contrastive_loss",
+    "dirichlet_energy_tensor",
+    "energy_bound_penalty",
+    "LossBreakdown",
+    "MultiModalSemanticLoss",
+    "SemanticPropagation",
+    "PropagationResult",
+    "closed_form_interpolation",
+    "cosine_similarity",
+    "csls_similarity",
+    "mutual_nearest_pairs",
+    "greedy_one_to_one",
+    "EnergyMonitor",
+    "EnergySnapshot",
+    "verify_layer_bounds",
+    "DESAlign",
+    "Trainer",
+    "TrainingResult",
+    "TrainingHistory",
+]

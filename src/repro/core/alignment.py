@@ -1,0 +1,90 @@
+"""Alignment decoding utilities: similarity matrices, CSLS, mutual nearest pairs.
+
+These are shared between DESAlign and the baselines: cosine similarity for
+ranking, CSLS re-scaling (used by several EA systems to counter hubness) and
+the mutual-nearest-neighbour selection that drives the iterative
+(bootstrapping) training strategy described in Sec. V-A(2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "csls_similarity",
+    "mutual_nearest_pairs",
+    "greedy_one_to_one",
+]
+
+
+def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity between rows of ``source`` and ``target``."""
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    source_norm = source / np.maximum(np.linalg.norm(source, axis=1, keepdims=True), 1e-12)
+    target_norm = target / np.maximum(np.linalg.norm(target, axis=1, keepdims=True), 1e-12)
+    return source_norm @ target_norm.T
+
+
+def csls_similarity(similarity: np.ndarray, k: int = 10) -> np.ndarray:
+    """Cross-domain similarity local scaling of a similarity matrix.
+
+    ``CSLS(i, j) = 2 s(i, j) - r_T(i) - r_S(j)`` where ``r`` is the mean
+    similarity to the ``k`` nearest cross-graph neighbours.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    k_row = min(k, similarity.shape[1])
+    k_col = min(k, similarity.shape[0])
+    row_top = np.sort(similarity, axis=1)[:, -k_row:]
+    col_top = np.sort(similarity, axis=0)[-k_col:, :]
+    row_mean = row_top.mean(axis=1, keepdims=True)
+    col_mean = col_top.mean(axis=0, keepdims=True)
+    return 2.0 * similarity - row_mean - col_mean
+
+
+def mutual_nearest_pairs(similarity: np.ndarray,
+                         threshold: float = 0.0,
+                         exclude_source: set[int] | None = None,
+                         exclude_target: set[int] | None = None) -> list[tuple[int, int]]:
+    """Cross-graph mutual nearest-neighbour pairs above ``threshold``.
+
+    Used by the iterative strategy as a buffering mechanism: pairs where
+    each entity is the other's best match (and neither is already a seed)
+    are promoted to pseudo-labels for the next training round.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    exclude_source = exclude_source or set()
+    exclude_target = exclude_target or set()
+    best_target = similarity.argmax(axis=1)
+    best_source = similarity.argmax(axis=0)
+    pairs = []
+    for source_id, target_id in enumerate(best_target):
+        if source_id in exclude_source or int(target_id) in exclude_target:
+            continue
+        if best_source[target_id] == source_id and similarity[source_id, target_id] >= threshold:
+            pairs.append((source_id, int(target_id)))
+    return pairs
+
+
+def greedy_one_to_one(similarity: np.ndarray) -> list[tuple[int, int]]:
+    """Greedy one-to-one matching by descending similarity (alignment editing).
+
+    A simple assignment heuristic used to post-process predictions when a
+    strict one-to-one mapping is required.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    num_source, num_target = similarity.shape
+    order = np.dstack(np.unravel_index(np.argsort(-similarity, axis=None), similarity.shape))[0]
+    used_source: set[int] = set()
+    used_target: set[int] = set()
+    matches: list[tuple[int, int]] = []
+    for source_id, target_id in order:
+        if source_id in used_source or target_id in used_target:
+            continue
+        matches.append((int(source_id), int(target_id)))
+        used_source.add(int(source_id))
+        used_target.add(int(target_id))
+        if len(matches) == min(num_source, num_target):
+            break
+    return matches

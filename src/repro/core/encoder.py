@@ -1,0 +1,151 @@
+"""Multi-modal knowledge graph representation (Sec. IV-A of the paper).
+
+The encoder maps every entity of one MMKG to:
+
+* per-modality hidden embeddings ``h_m`` (GAT for the structure, one FC per
+  non-structural modality, Eq. 7-8);
+* cross-modally attended embeddings ``ĥ_m`` and modality confidences
+  ``w̃_m`` from the CAW block (Eq. 9-13);
+* the early-fusion joint embedding ``h_Ori`` and late-fusion ``h_Fus``
+  (Eq. 14), produced by concatenating confidence-weighted modal embeddings.
+
+The same encoder (same parameters) is applied to the source and target
+graphs; only the input features and the adjacency differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, l2_normalize
+from ..nn import (
+    CrossModalAttentionBlock,
+    GAT,
+    Linear,
+    Module,
+    ModuleDict,
+    Parameter,
+    init,
+)
+from .config import DESAlignConfig
+
+__all__ = ["EncoderOutput", "MultiModalEncoder"]
+
+
+@dataclass
+class EncoderOutput:
+    """All embeddings produced by one encoder pass over one graph."""
+
+    modal: dict[str, Tensor]          # h_m, shape (N, d) per modality
+    attended: dict[str, Tensor]       # ĥ_m after the CAW block
+    confidences: Tensor               # (N, num_modalities), Eq. 13
+    original: Tensor                  # h_Ori, early fusion (N, M*d)
+    fused: Tensor                     # h_Fus, late fusion (N, M*d)
+
+    @property
+    def modalities(self) -> list[str]:
+        return list(self.modal)
+
+    def confidence_for(self, modality: str) -> Tensor:
+        """Column of the confidence matrix for ``modality``."""
+        index = self.modalities.index(modality)
+        return self.confidences[:, index]
+
+    def joint(self, kind: str) -> Tensor:
+        """Return the requested joint embedding (``"original"`` or ``"fused"``)."""
+        if kind == "original":
+            return self.original
+        if kind == "fused":
+            return self.fused
+        raise ValueError("kind must be 'original' or 'fused'")
+
+
+class MultiModalEncoder(Module):
+    """Shared multi-modal entity encoder used by DESAlign.
+
+    Parameters
+    ----------
+    config:
+        Model hyper-parameters; ``config.modalities`` controls which
+        channels are instantiated (modality ablations simply omit one).
+    feature_dims:
+        Raw input dimensionality per modality (from the prepared task).
+    num_entities:
+        Entity counts per side, keyed ``"source"`` / ``"target"``; each side
+        owns its trainable structural embedding table ``x^g``.
+    """
+
+    def __init__(self, config: DESAlignConfig, feature_dims: dict[str, int],
+                 num_entities: dict[str, int], rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.modalities = tuple(config.modalities)
+        hidden = config.hidden_dim
+
+        # Trainable structural embeddings, one table per graph (Eq. 7 input).
+        self._structure_keys: dict[str, str] = {}
+        for side, count in num_entities.items():
+            key = f"structure_{side}"
+            self._parameters[key] = Parameter(init.normal(rng, (count, hidden), std=0.3))
+            self._structure_keys[side] = key
+
+        if "graph" in self.modalities:
+            self.gat = GAT(hidden, config.gat_layers, config.gat_heads, rng)
+        self.projections = ModuleDict()
+        for modality in self.modalities:
+            if modality == "graph":
+                continue
+            self.projections[modality] = Linear(feature_dims[modality], hidden, rng)
+        self.cross_modal = CrossModalAttentionBlock(
+            hidden, config.attention_heads, config.feed_forward_dim, rng,
+            dropout_rate=config.dropout)
+
+    # ------------------------------------------------------------------
+    def structural_embedding(self, side: str) -> Parameter:
+        """The trainable ``x^g`` table of one side."""
+        return self._parameters[self._structure_keys[side]]
+
+    def forward(self, side: str, features: dict[str, np.ndarray],
+                adjacency: np.ndarray) -> EncoderOutput:
+        """Encode one graph.
+
+        Parameters
+        ----------
+        side:
+            ``"source"`` or ``"target"`` — selects the structural table.
+        features:
+            Raw modal feature matrices for this graph.
+        adjacency:
+            Dense adjacency matrix of this graph.
+        """
+        modal: dict[str, Tensor] = {}
+        for modality in self.modalities:
+            if modality == "graph":
+                modal["graph"] = self.gat(self.structural_embedding(side), adjacency)
+            else:
+                modal[modality] = self.projections[modality](Tensor(features[modality]))
+
+        stacked = Tensor.stack([modal[m] for m in self.modalities], axis=1)
+        attended_stack, confidences = self.cross_modal(stacked)
+        attended = {m: attended_stack[:, i, :] for i, m in enumerate(self.modalities)}
+
+        # Each modality is L2-normalised before weighting so that no single
+        # channel dominates the concatenated joint embedding purely through
+        # its feature scale; the confidences then control the contribution.
+        weighted_original = []
+        weighted_fused = []
+        for index, modality in enumerate(self.modalities):
+            weight = confidences[:, index].reshape(-1, 1)
+            weighted_original.append(l2_normalize(modal[modality]) * weight)
+            weighted_fused.append(l2_normalize(attended[modality]) * weight)
+        original = Tensor.concat(weighted_original, axis=-1)
+        fused = Tensor.concat(weighted_fused, axis=-1)
+        return EncoderOutput(
+            modal=modal,
+            attended=attended,
+            confidences=confidences,
+            original=original,
+            fused=fused,
+        )

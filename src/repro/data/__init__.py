@@ -1,0 +1,42 @@
+"""Dataset generation: synthetic MMKG pairs, modal features and benchmark presets."""
+
+from .features import (
+    bag_of_relations,
+    bag_of_attributes,
+    visual_feature_matrix,
+    ModalFeatureSet,
+    build_feature_set,
+)
+from .synthetic import SyntheticPairConfig, SyntheticWorld, generate_world, generate_pair
+from .benchmarks import (
+    MONOLINGUAL_DATASETS,
+    BILINGUAL_DATASETS,
+    ALL_DATASETS,
+    MISSING_RATIOS,
+    BenchmarkSplit,
+    dataset_preset,
+    load_benchmark,
+    benchmark_suite,
+    is_bilingual,
+)
+
+__all__ = [
+    "bag_of_relations",
+    "bag_of_attributes",
+    "visual_feature_matrix",
+    "ModalFeatureSet",
+    "build_feature_set",
+    "SyntheticPairConfig",
+    "SyntheticWorld",
+    "generate_world",
+    "generate_pair",
+    "MONOLINGUAL_DATASETS",
+    "BILINGUAL_DATASETS",
+    "ALL_DATASETS",
+    "MISSING_RATIOS",
+    "BenchmarkSplit",
+    "dataset_preset",
+    "load_benchmark",
+    "benchmark_suite",
+    "is_bilingual",
+]

@@ -1,0 +1,56 @@
+"""Task-level evaluation and timing harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.task import PreparedTask
+from .metrics import AlignmentMetrics, evaluate_alignment
+
+__all__ = ["Evaluator", "TimingResult", "time_callable"]
+
+
+@dataclass
+class Evaluator:
+    """Evaluate similarity matrices against a prepared task's test split."""
+
+    task: PreparedTask
+    restrict_candidates: bool = True
+
+    def evaluate_similarity(self, similarity: np.ndarray) -> AlignmentMetrics:
+        """Score a full source×target similarity matrix on the test pairs."""
+        return evaluate_alignment(similarity, self.task.test_pairs,
+                                  restrict_candidates=self.restrict_candidates)
+
+    def evaluate_model(self, model, use_propagation: bool = True) -> AlignmentMetrics:
+        """Score any model exposing ``similarity(use_propagation=...)``."""
+        try:
+            similarity = model.similarity(use_propagation=use_propagation)
+        except TypeError:
+            similarity = model.similarity()
+        return self.evaluate_similarity(similarity)
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock measurement of a callable, with optional per-phase detail."""
+
+    label: str
+    seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        summary = {"total_seconds": self.seconds}
+        summary.update(self.phases)
+        return summary
+
+
+def time_callable(label: str, fn, *args, **kwargs) -> tuple[TimingResult, object]:
+    """Run ``fn`` and return its wall-clock time alongside its result."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return TimingResult(label=label, seconds=elapsed), result

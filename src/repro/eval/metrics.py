@@ -1,0 +1,107 @@
+"""Evaluation metrics for entity alignment: Hits@k and MRR (Eq. 23-24).
+
+Given a pairwise similarity matrix between source and target entities and a
+set of gold test pairs, each source query entity is ranked against the
+candidate target entities (by convention the targets of the test pairs, as
+in the paper's evaluation protocol) and the rank of its gold counterpart
+feeds H@k and MRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ranks_from_similarity", "hits_at_k", "mean_reciprocal_rank", "AlignmentMetrics",
+           "evaluate_alignment"]
+
+
+def ranks_from_similarity(similarity: np.ndarray, test_pairs: np.ndarray,
+                          restrict_candidates: bool = True) -> np.ndarray:
+    """Rank of the gold target for every test source entity (1-based).
+
+    Parameters
+    ----------
+    similarity:
+        Full ``(num_source, num_target)`` similarity matrix.
+    test_pairs:
+        ``(num_test, 2)`` array of gold ``[source, target]`` pairs.
+    restrict_candidates:
+        When True (the standard MMEA protocol) candidates are restricted to
+        the target entities appearing in the test set; otherwise every
+        target entity is a candidate.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    test_pairs = np.asarray(test_pairs, dtype=np.int64)
+    if test_pairs.ndim != 2 or test_pairs.shape[1] != 2:
+        raise ValueError("test_pairs must have shape (num_test, 2)")
+    if restrict_candidates:
+        candidates = np.unique(test_pairs[:, 1])
+    else:
+        candidates = np.arange(similarity.shape[1])
+    candidate_position = {int(t): i for i, t in enumerate(candidates)}
+    scores = similarity[:, candidates]
+    ranks = np.zeros(len(test_pairs), dtype=np.int64)
+    for row, (source_id, target_id) in enumerate(test_pairs):
+        gold_column = candidate_position[int(target_id)]
+        row_scores = scores[source_id]
+        gold_score = row_scores[gold_column]
+        # Rank = 1 + number of strictly better candidates; ties are counted
+        # optimistically-deterministically by breaking on index order.
+        better = np.sum(row_scores > gold_score)
+        ties_before = np.sum((row_scores == gold_score)[:gold_column])
+        ranks[row] = 1 + better + ties_before
+    return ranks
+
+
+def hits_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of queries whose gold answer is ranked within the top ``k``."""
+    ranks = np.asarray(ranks)
+    if len(ranks) == 0:
+        return 0.0
+    return float(np.mean(ranks <= k))
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """Mean of reciprocal ranks of the gold answers."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if len(ranks) == 0:
+        return 0.0
+    return float(np.mean(1.0 / ranks))
+
+
+@dataclass(frozen=True)
+class AlignmentMetrics:
+    """Standard MMEA metric bundle: H@1, H@10 and MRR."""
+
+    hits_at_1: float
+    hits_at_10: float
+    mrr: float
+    num_queries: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "H@1": self.hits_at_1,
+            "H@10": self.hits_at_10,
+            "MRR": self.mrr,
+        }
+
+    def __str__(self) -> str:
+        return (f"H@1={self.hits_at_1 * 100:.1f} H@10={self.hits_at_10 * 100:.1f} "
+                f"MRR={self.mrr * 100:.1f}")
+
+
+def evaluate_alignment(similarity: np.ndarray, test_pairs: np.ndarray,
+                       restrict_candidates: bool = True) -> AlignmentMetrics:
+    """Compute H@1 / H@10 / MRR of a similarity matrix on gold test pairs."""
+    test_pairs = np.asarray(test_pairs, dtype=np.int64)
+    if len(test_pairs) == 0:
+        return AlignmentMetrics(0.0, 0.0, 0.0, 0)
+    ranks = ranks_from_similarity(similarity, test_pairs, restrict_candidates)
+    return AlignmentMetrics(
+        hits_at_1=hits_at_k(ranks, 1),
+        hits_at_10=hits_at_k(ranks, 10),
+        mrr=mean_reciprocal_rank(ranks),
+        num_queries=len(ranks),
+    )

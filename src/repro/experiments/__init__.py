@@ -1,0 +1,50 @@
+"""Experiment harness: one runner per table / figure of the paper."""
+
+from .reporting import ExperimentResult, format_table, format_metrics
+from .runner import (
+    ExperimentScale,
+    QUICK_SCALE,
+    PAPER_SCALE,
+    PROMINENT_MODELS,
+    BASIC_MODELS,
+    build_task,
+    train_model,
+    run_cell,
+)
+from .table2_text_ratio import run_table2
+from .table3_image_ratio import run_table3
+from .table4_monolingual import run_table4
+from .table5_bilingual import run_table5
+from .efficiency import run_efficiency
+from .fig3_ablation import run_fig3_ablation, ablation_variants
+from .fig3_weak_supervision import run_fig3_weak_supervision
+from .fig4_propagation_iters import run_fig4_propagation
+from .energy_analysis import run_energy_analysis
+from .registry import EXPERIMENTS, run_experiment, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_metrics",
+    "ExperimentScale",
+    "QUICK_SCALE",
+    "PAPER_SCALE",
+    "PROMINENT_MODELS",
+    "BASIC_MODELS",
+    "build_task",
+    "train_model",
+    "run_cell",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_efficiency",
+    "run_fig3_ablation",
+    "ablation_variants",
+    "run_fig3_weak_supervision",
+    "run_fig4_propagation",
+    "run_energy_analysis",
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,87 @@
+"""Dirichlet-energy analysis (Sec. III) — over-smoothing under inconsistency.
+
+The paper's motivating observation is that, with semantically inconsistent
+inputs, a plain deep semantic encoder drives the Dirichlet energy of its
+output towards zero (over-smoothing), whereas training with the MMSL
+objective keeps the energy of the final representation bounded away from
+zero relative to the initial representation.
+
+This runner quantifies that claim on a high-missing-ratio split: it trains
+(a) DESAlign with the full MMSL objective and (b) a stripped variant with
+only the final-layer task loss (the "naive deep encoder" regime), recording
+the energy retention ratio ``E(X^(k)) / E(X^(0))`` through training, and it
+additionally reports the raw effect of repeated propagation on untrained
+features (energy decays monotonically — the low-pass-filter view of Eq. 21).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DESAlignConfig
+from ..core.energy import EnergyMonitor
+from ..core.propagation import SemanticPropagation
+from ..core.trainer import Trainer
+from ..core.config import TrainingConfig
+from ..baselines import build_model
+from ..kg.laplacian import dirichlet_energy
+from .reporting import ExperimentResult
+from .runner import ExperimentScale, QUICK_SCALE, build_task
+
+__all__ = ["run_energy_analysis"]
+
+
+def _train_with_monitor(task, config: DESAlignConfig, scale: ExperimentScale,
+                        label: str, result: ExperimentResult) -> None:
+    model = build_model("DESAlign", task, config=config)
+    monitor = EnergyMonitor(laplacian=task.source.laplacian)
+    training = TrainingConfig(epochs=scale.epochs, eval_every=max(1, scale.epochs // 6),
+                              seed=scale.seed)
+    Trainer(model, task, training, energy_monitor=monitor).fit()
+    for snapshot in monitor.history:
+        result.add_row(
+            variant=label,
+            step=snapshot.step,
+            energy_initial=round(snapshot.original, 4),
+            energy_final=round(snapshot.fused, 4),
+            retention_ratio=round(snapshot.ratio(), 4),
+        )
+
+
+def run_energy_analysis(scale: ExperimentScale = QUICK_SCALE,
+                        dataset: str = "FBDB15K",
+                        image_ratio: float = 0.2,
+                        text_ratio: float = 0.2) -> ExperimentResult:
+    """Regenerate the Dirichlet-energy over-smoothing analysis of Sec. III."""
+    result = ExperimentResult(
+        experiment="fig_energy",
+        description="Dirichlet energy retention with and without MMSL (Sec. III)",
+        parameters={"scale": scale.__dict__, "dataset": dataset,
+                    "image_ratio": image_ratio, "text_ratio": text_ratio},
+    )
+    task = build_task(dataset, scale, seed_ratio=0.2,
+                      image_ratio=image_ratio, text_ratio=text_ratio)
+
+    full = DESAlignConfig(hidden_dim=scale.hidden_dim, seed=scale.seed)
+    naive = full.with_overrides(use_initial_task_loss=False,
+                                use_previous_modal_loss=False,
+                                use_final_modal_loss=False,
+                                use_min_confidence=False)
+    _train_with_monitor(task, full, scale, "MMSL (full objective)", result)
+    _train_with_monitor(task, naive, scale, "naive (final task loss only)", result)
+
+    # Low-pass-filter view of propagation: energy decays with every round.
+    features = task.source.features.features["vision"]
+    propagation = SemanticPropagation(iterations=5, reset_known=False)
+    states = propagation.propagate_features(features, task.source.adjacency)
+    for round_index, state in enumerate(states):
+        result.add_row(
+            variant="propagation energy decay",
+            step=round_index,
+            energy_initial=round(dirichlet_energy(states[0], task.source.laplacian), 4),
+            energy_final=round(dirichlet_energy(state, task.source.laplacian), 4),
+            retention_ratio=round(
+                dirichlet_energy(state, task.source.laplacian)
+                / max(dirichlet_energy(states[0], task.source.laplacian), 1e-12), 4),
+        )
+    return result

@@ -1,0 +1,52 @@
+"""Registry mapping paper artefacts (tables / figures) to experiment runners.
+
+``EXPERIMENTS[experiment_id]`` is a zero-configuration callable returning an
+:class:`~repro.experiments.reporting.ExperimentResult`; every runner also
+accepts an :class:`~repro.experiments.runner.ExperimentScale` to trade speed
+for fidelity.  The benchmark suite under ``benchmarks/`` calls these runners
+one table/figure at a time.
+"""
+
+from __future__ import annotations
+
+from .efficiency import run_efficiency
+from .energy_analysis import run_energy_analysis
+from .fig3_ablation import run_fig3_ablation
+from .fig3_weak_supervision import run_fig3_weak_supervision
+from .fig4_propagation_iters import run_fig4_propagation
+from .reporting import ExperimentResult
+from .runner import ExperimentScale, QUICK_SCALE
+from .table2_text_ratio import run_table2
+from .table3_image_ratio import run_table3
+from .table4_monolingual import run_table4
+from .table5_bilingual import run_table5
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+#: Experiment id -> (runner, human description of the paper artefact).
+EXPERIMENTS = {
+    "table2": (run_table2, "Table II — robustness to missing text attributes"),
+    "table3": (run_table3, "Table III — robustness to missing images"),
+    "table4": (run_table4, "Table IV — monolingual main results"),
+    "table5": (run_table5, "Table V — bilingual main results"),
+    "table6_efficiency": (run_efficiency, "Sec. V-E — efficiency analysis"),
+    "fig3_left": (run_fig3_ablation, "Fig. 3 (left) — ablation study"),
+    "fig3_right": (run_fig3_weak_supervision, "Fig. 3 (right) — weakly supervised sweep"),
+    "fig4": (run_fig4_propagation, "Fig. 4 — propagation iteration sweep"),
+    "fig_energy": (run_energy_analysis, "Sec. III — Dirichlet-energy over-smoothing analysis"),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """Return ``(experiment_id, description)`` for every registered experiment."""
+    return [(key, description) for key, (_, description) in EXPERIMENTS.items()]
+
+
+def run_experiment(experiment_id: str, scale: ExperimentScale = QUICK_SCALE,
+                   **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id at the requested scale."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {sorted(EXPERIMENTS)}")
+    runner, _ = EXPERIMENTS[experiment_id]
+    return runner(scale=scale, **kwargs)

@@ -1,0 +1,102 @@
+"""Result containers and plain-text table rendering for the experiment harness.
+
+Every experiment runner returns an :class:`ExperimentResult`: a list of rows
+(dictionaries) plus metadata, with helpers to render the same row/column
+layout the paper's tables use and to persist results as JSON for
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentResult", "format_table", "format_metrics"]
+
+
+def format_metrics(metrics) -> dict[str, float]:
+    """Convert an AlignmentMetrics (or mapping) into percentage-valued columns."""
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    return {key: round(100.0 * value, 1) for key, value in metrics.items()}
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 float_format: str = "{:.1f}") -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                # Ratios below 1 keep two decimals so 0.05 is not shown as 0.1.
+                chosen = "{:.2f}" if abs(value) < 1.0 else float_format
+                cells.append(chosen.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+                     for line in rendered)
+    return "\n".join([header, separator, body])
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment runner (one table or figure)."""
+
+    experiment: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    parameters: dict = field(default_factory=dict)
+
+    def add_row(self, **values) -> dict:
+        self.rows.append(dict(values))
+        return self.rows[-1]
+
+    def filter(self, **criteria) -> list[dict]:
+        """Rows matching every ``column=value`` criterion."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def column(self, name: str, **criteria) -> list:
+        """Values of one column over the rows matching ``criteria``."""
+        return [row[name] for row in self.filter(**criteria) if name in row]
+
+    def best_row(self, metric: str = "MRR", **criteria) -> dict:
+        rows = self.filter(**criteria) if criteria else self.rows
+        if not rows:
+            raise ValueError("no rows matching the criteria")
+        return max(rows, key=lambda row: row.get(metric, float("-inf")))
+
+    def to_table(self, columns: list[str] | None = None) -> str:
+        header = f"== {self.experiment}: {self.description} =="
+        return header + "\n" + format_table(self.rows, columns)
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        payload = json.dumps({
+            "experiment": self.experiment,
+            "description": self.description,
+            "parameters": self.parameters,
+            "rows": self.rows,
+        }, indent=2)
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            Path(path).write_text(payload, encoding="utf-8")
+        return payload

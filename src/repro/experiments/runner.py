@@ -1,0 +1,106 @@
+"""Common execution helpers shared by every experiment runner.
+
+The experiment modules describe *what* to run (datasets, splits, model
+rows); this module knows *how* to run a single cell of a table: build the
+benchmark split, prepare the task, instantiate the model from the registry,
+train it with the shared trainer and return the metric bundle.
+
+Experiment scale (entity count, epoch count, which model rows to include)
+is controlled by an :class:`ExperimentScale` so the same code serves both
+quick benchmark runs and larger overnight reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..baselines import build_model
+from ..core.config import DESAlignConfig, TrainingConfig
+from ..core.task import PreparedTask, prepare_task
+from ..core.trainer import Trainer, TrainingResult
+from ..data.benchmarks import load_benchmark
+
+__all__ = ["ExperimentScale", "QUICK_SCALE", "PAPER_SCALE", "PROMINENT_MODELS",
+           "BASIC_MODELS", "build_task", "train_model", "run_cell"]
+
+#: Models used in the robustness tables (Tables II / III) and Fig. 3 (right).
+PROMINENT_MODELS = ("EVA", "MCLEA", "MEAformer", "DESAlign")
+
+#: The "basic model" rows of Table IV that this reproduction implements.
+BASIC_MODELS = ("TransE", "GCN-align", "PoE", "EVA", "MCLEA", "MEAformer", "DESAlign")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how expensive an experiment run is."""
+
+    num_entities: int = 100
+    epochs: int = 60
+    iterative_epochs: int = 20
+    iterative_rounds: int = 1
+    hidden_dim: int = 32
+    eval_every: int = 0
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+
+#: Fast setting used by the pytest-benchmark harness (seconds per cell).
+QUICK_SCALE = ExperimentScale(num_entities=80, epochs=30)
+
+#: Larger setting closer to the paper's training budget (minutes per cell).
+PAPER_SCALE = ExperimentScale(num_entities=200, epochs=150, iterative_epochs=50,
+                              iterative_rounds=2)
+
+
+def build_task(dataset: str, scale: ExperimentScale,
+               seed_ratio: float | None = None,
+               image_ratio: float | None = None,
+               text_ratio: float | None = None) -> PreparedTask:
+    """Materialise and prepare one benchmark split at the requested scale."""
+    pair = load_benchmark(
+        dataset,
+        seed_ratio=seed_ratio,
+        image_ratio=image_ratio,
+        text_ratio=text_ratio,
+        num_entities=scale.num_entities,
+        seed=None,
+    )
+    return prepare_task(pair, structure_dim=scale.hidden_dim, seed=scale.seed)
+
+
+def train_model(model_name: str, task: PreparedTask, scale: ExperimentScale,
+                iterative: bool = False, model_kwargs: dict | None = None,
+                training_overrides: dict | None = None):
+    """Train one model on one prepared split; returns ``(model, TrainingResult)``."""
+    model_kwargs = dict(model_kwargs or {})
+    if model_name == "DESAlign" and "config" not in model_kwargs:
+        model_kwargs["config"] = DESAlignConfig(hidden_dim=scale.hidden_dim,
+                                                seed=scale.seed)
+    elif model_name == "TransE":
+        model_kwargs.setdefault("hidden_dim", scale.hidden_dim)
+        model_kwargs.setdefault("seed", scale.seed)
+    model = build_model(model_name, task, **model_kwargs)
+    training = TrainingConfig(
+        epochs=scale.epochs,
+        eval_every=scale.eval_every,
+        iterative=iterative,
+        iterative_rounds=scale.iterative_rounds,
+        iterative_epochs=scale.iterative_epochs,
+        seed=scale.seed,
+    )
+    if training_overrides:
+        training = training.with_overrides(**training_overrides)
+    trainer = Trainer(model, task, training)
+    return model, trainer.fit()
+
+
+def run_cell(model_name: str, task: PreparedTask, scale: ExperimentScale,
+             iterative: bool = False, model_kwargs: dict | None = None,
+             training_overrides: dict | None = None) -> TrainingResult:
+    """Train and evaluate one model on one prepared split (one table cell)."""
+    _, result = train_model(model_name, task, scale, iterative=iterative,
+                            model_kwargs=model_kwargs,
+                            training_overrides=training_overrides)
+    return result

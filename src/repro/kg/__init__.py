@@ -1,0 +1,36 @@
+"""Multi-modal knowledge graph substrate: graphs, alignment tasks, spectra, IO."""
+
+from .graph import MultiModalKG, RelationTriple, AttributeTriple, MODALITIES
+from .pair import KGPair, AlignmentPair
+from .laplacian import (
+    normalized_adjacency,
+    graph_laplacian,
+    dirichlet_energy,
+    dirichlet_energy_pairwise,
+    energy_gap_bounds,
+    layer_energy_bounds,
+    partition_laplacian,
+    largest_laplacian_eigenvalue,
+)
+from .io import save_pair_json, load_pair_json, save_pair_dbp_format, load_pair_dbp_format
+
+__all__ = [
+    "MultiModalKG",
+    "RelationTriple",
+    "AttributeTriple",
+    "MODALITIES",
+    "KGPair",
+    "AlignmentPair",
+    "normalized_adjacency",
+    "graph_laplacian",
+    "dirichlet_energy",
+    "dirichlet_energy_pairwise",
+    "energy_gap_bounds",
+    "layer_energy_bounds",
+    "partition_laplacian",
+    "largest_laplacian_eigenvalue",
+    "save_pair_json",
+    "load_pair_json",
+    "save_pair_dbp_format",
+    "load_pair_dbp_format",
+]

@@ -1,0 +1,176 @@
+"""Serialisation of MMKGs and alignment tasks.
+
+Two formats are supported:
+
+* a JSON bundle (one file per :class:`KGPair`) convenient for checkpoints
+  and examples, and
+* a DBP15K-style directory layout (``triples_1``, ``triples_2``,
+  ``attr_triples_1``, ``ent_links`` …) so that users with access to the real
+  datasets can load them into the same pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .graph import AttributeTriple, MultiModalKG, RelationTriple
+from .pair import AlignmentPair, KGPair
+
+__all__ = ["save_pair_json", "load_pair_json", "save_pair_dbp_format", "load_pair_dbp_format"]
+
+
+def _graph_to_dict(graph: MultiModalKG) -> dict:
+    return {
+        "name": graph.name,
+        "entity_names": graph.entity_names,
+        "num_relations": graph.num_relations,
+        "num_attributes": graph.num_attributes,
+        "relation_triples": [[int(t.head), int(t.relation), int(t.tail)]
+                             for t in graph.relation_triples],
+        "attribute_triples": [[int(t.entity), int(t.attribute), t.value]
+                              for t in graph.attribute_triples],
+        "image_features": {str(e): feat.tolist() for e, feat in graph.image_features.items()},
+    }
+
+
+def _graph_from_dict(payload: dict) -> MultiModalKG:
+    return MultiModalKG(
+        entity_names=list(payload["entity_names"]),
+        num_relations=int(payload["num_relations"]),
+        num_attributes=int(payload["num_attributes"]),
+        relation_triples=[RelationTriple(*map(int, t)) for t in payload["relation_triples"]],
+        attribute_triples=[AttributeTriple(int(e), int(a), str(v))
+                           for e, a, v in payload["attribute_triples"]],
+        image_features={int(e): np.asarray(feat, dtype=np.float64)
+                        for e, feat in payload["image_features"].items()},
+        name=payload.get("name", "MMKG"),
+    )
+
+
+def save_pair_json(pair: KGPair, path: str | Path) -> Path:
+    """Serialise a :class:`KGPair` (graphs, alignments, seed ratio) to JSON."""
+    path = Path(path)
+    payload = {
+        "name": pair.name,
+        "seed_ratio": pair.seed_ratio,
+        "source": _graph_to_dict(pair.source),
+        "target": _graph_to_dict(pair.target),
+        "alignments": [[int(p.source), int(p.target)] for p in pair.alignments],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_pair_json(path: str | Path) -> KGPair:
+    """Load a :class:`KGPair` previously saved with :func:`save_pair_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return KGPair(
+        source=_graph_from_dict(payload["source"]),
+        target=_graph_from_dict(payload["target"]),
+        alignments=[AlignmentPair(int(s), int(t)) for s, t in payload["alignments"]],
+        seed_ratio=float(payload["seed_ratio"]),
+        name=payload.get("name", "kg-pair"),
+    )
+
+
+def save_pair_dbp_format(pair: KGPair, directory: str | Path) -> Path:
+    """Write the pair in a DBP15K-style tab-separated directory layout."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for suffix, graph in (("1", pair.source), ("2", pair.target)):
+        with open(directory / f"triples_{suffix}", "w", encoding="utf-8") as handle:
+            for triple in graph.relation_triples:
+                handle.write(f"{triple.head}\t{triple.relation}\t{triple.tail}\n")
+        with open(directory / f"attr_triples_{suffix}", "w", encoding="utf-8") as handle:
+            for triple in graph.attribute_triples:
+                handle.write(f"{triple.entity}\t{triple.attribute}\t{triple.value}\n")
+        with open(directory / f"ent_ids_{suffix}", "w", encoding="utf-8") as handle:
+            for index, name in enumerate(graph.entity_names):
+                handle.write(f"{index}\t{name}\n")
+        np.savez(directory / f"images_{suffix}.npz",
+                 **{str(e): feat for e, feat in graph.image_features.items()})
+    with open(directory / "ent_links", "w", encoding="utf-8") as handle:
+        for alignment in pair.alignments:
+            handle.write(f"{alignment.source}\t{alignment.target}\n")
+    with open(directory / "meta.json", "w", encoding="utf-8") as handle:
+        json.dump({"name": pair.name, "seed_ratio": pair.seed_ratio,
+                   "num_relations_1": pair.source.num_relations,
+                   "num_relations_2": pair.target.num_relations,
+                   "num_attributes_1": pair.source.num_attributes,
+                   "num_attributes_2": pair.target.num_attributes}, handle)
+    return directory
+
+
+def _load_graph_dbp(directory: Path, suffix: str, name: str,
+                    num_relations: int | None, num_attributes: int | None) -> MultiModalKG:
+    with open(directory / f"ent_ids_{suffix}", encoding="utf-8") as handle:
+        entity_names = [line.rstrip("\n").split("\t", 1)[1] for line in handle if line.strip()]
+    relation_triples = []
+    with open(directory / f"triples_{suffix}", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            head, relation, tail = line.strip().split("\t")
+            relation_triples.append(RelationTriple(int(head), int(relation), int(tail)))
+    attribute_triples = []
+    attr_path = directory / f"attr_triples_{suffix}"
+    if attr_path.exists():
+        with open(attr_path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                entity, attribute, value = line.rstrip("\n").split("\t", 2)
+                attribute_triples.append(AttributeTriple(int(entity), int(attribute), value))
+    images: dict[int, np.ndarray] = {}
+    image_path = directory / f"images_{suffix}.npz"
+    if image_path.exists():
+        with np.load(image_path) as archive:
+            images = {int(key): np.asarray(archive[key], dtype=np.float64)
+                      for key in archive.files}
+    if num_relations is None:
+        num_relations = 1 + max((t.relation for t in relation_triples), default=-1)
+    if num_attributes is None:
+        num_attributes = 1 + max((t.attribute for t in attribute_triples), default=-1)
+    return MultiModalKG(
+        entity_names=entity_names,
+        num_relations=num_relations,
+        num_attributes=num_attributes,
+        relation_triples=relation_triples,
+        attribute_triples=attribute_triples,
+        image_features=images,
+        name=name,
+    )
+
+
+def load_pair_dbp_format(directory: str | Path) -> KGPair:
+    """Load a DBP15K-style directory written by :func:`save_pair_dbp_format`."""
+    directory = Path(directory)
+    meta: dict = {}
+    meta_path = directory / "meta.json"
+    if meta_path.exists():
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    source = _load_graph_dbp(directory, "1", meta.get("name", "KG1") + "/1",
+                             meta.get("num_relations_1"), meta.get("num_attributes_1"))
+    target = _load_graph_dbp(directory, "2", meta.get("name", "KG2") + "/2",
+                             meta.get("num_relations_2"), meta.get("num_attributes_2"))
+    alignments = []
+    with open(directory / "ent_links", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            left, right = line.strip().split("\t")
+            alignments.append(AlignmentPair(int(left), int(right)))
+    return KGPair(
+        source=source,
+        target=target,
+        alignments=alignments,
+        seed_ratio=float(meta.get("seed_ratio", 0.3)),
+        name=meta.get("name", directory.name),
+    )

@@ -1,0 +1,120 @@
+"""Alignment task container: two MMKGs, seed alignments and a test split.
+
+This is the unit of work for every experiment: Definition 1 of the paper
+seeks a one-to-one mapping between the source and target graphs given a
+supervised fraction (``R_seed``) of gold pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import MultiModalKG
+
+__all__ = ["AlignmentPair", "KGPair"]
+
+
+@dataclass(frozen=True)
+class AlignmentPair:
+    """A gold correspondence between a source and a target entity."""
+
+    source: int
+    target: int
+
+
+@dataclass
+class KGPair:
+    """A multi-modal entity-alignment problem instance.
+
+    Parameters
+    ----------
+    source, target:
+        The two multi-modal knowledge graphs to align.
+    alignments:
+        All gold entity correspondences (the mapping ``Φ``).
+    seed_ratio:
+        Fraction of gold pairs revealed as training supervision (``R_seed``).
+    name:
+        Dataset-style identifier (e.g. ``"FBDB15K"`` or ``"DBP15K_FR-EN"``).
+    """
+
+    source: MultiModalKG
+    target: MultiModalKG
+    alignments: list[AlignmentPair]
+    seed_ratio: float = 0.3
+    name: str = "kg-pair"
+    _train: list[AlignmentPair] = field(default_factory=list, repr=False)
+    _test: list[AlignmentPair] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.seed_ratio < 1.0:
+            raise ValueError("seed_ratio must lie strictly between 0 and 1")
+        for pair in self.alignments:
+            if not 0 <= pair.source < self.source.num_entities:
+                raise ValueError(f"alignment {pair} references an unknown source entity")
+            if not 0 <= pair.target < self.target.num_entities:
+                raise ValueError(f"alignment {pair} references an unknown target entity")
+        sources = [p.source for p in self.alignments]
+        targets = [p.target for p in self.alignments]
+        if len(set(sources)) != len(sources) or len(set(targets)) != len(targets):
+            raise ValueError("alignments must define a one-to-one mapping")
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def split(self, rng: np.random.Generator | None = None) -> tuple[list[AlignmentPair], list[AlignmentPair]]:
+        """Split gold pairs into seed (train) and test pairs and cache the result."""
+        if self._train or self._test:
+            return list(self._train), list(self._test)
+        rng = rng or np.random.default_rng(0)
+        order = np.arange(len(self.alignments))
+        rng.shuffle(order)
+        seed_count = max(1, int(round(self.seed_ratio * len(self.alignments))))
+        seed_count = min(seed_count, len(self.alignments) - 1)
+        train = [self.alignments[i] for i in order[:seed_count]]
+        test = [self.alignments[i] for i in order[seed_count:]]
+        self._train.extend(train)
+        self._test.extend(test)
+        return list(train), list(test)
+
+    @property
+    def train_pairs(self) -> list[AlignmentPair]:
+        train, _ = self.split()
+        return train
+
+    @property
+    def test_pairs(self) -> list[AlignmentPair]:
+        _, test = self.split()
+        return test
+
+    def with_seed_ratio(self, seed_ratio: float) -> "KGPair":
+        """Return a copy of the task with a different supervision ratio."""
+        return KGPair(
+            source=self.source,
+            target=self.target,
+            alignments=list(self.alignments),
+            seed_ratio=seed_ratio,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics and reports
+    # ------------------------------------------------------------------
+    @property
+    def num_alignments(self) -> int:
+        return len(self.alignments)
+
+    def statistics(self) -> dict[str, dict[str, float]]:
+        """Table-I style statistics for both graphs plus split sizes."""
+        return {
+            "source": self.source.statistics(),
+            "target": self.target.statistics(),
+            "task": {
+                "alignments": float(self.num_alignments),
+                "seed_ratio": self.seed_ratio,
+                "train_pairs": float(len(self.train_pairs)),
+                "test_pairs": float(len(self.test_pairs)),
+            },
+        }

@@ -1,0 +1,53 @@
+"""Neural-network layers, initialisers and optimisers on the autograd substrate."""
+
+from .module import Module, ModuleList, ModuleDict, Parameter
+from .layers import (
+    Linear,
+    DiagonalLinear,
+    LayerNorm,
+    Dropout,
+    ReLU,
+    Sequential,
+    FeedForward,
+)
+from .gat import GAT, GATLayer
+from .gcn import GCN, GCNLayer
+from .attention import MultiHeadCrossModalAttention, CrossModalAttentionBlock
+from .optim import (
+    Optimizer,
+    SGD,
+    Adam,
+    AdamW,
+    CosineWarmupSchedule,
+    GradientClipper,
+    EarlyStopping,
+)
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "ModuleDict",
+    "Parameter",
+    "Linear",
+    "DiagonalLinear",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "Sequential",
+    "FeedForward",
+    "GAT",
+    "GATLayer",
+    "GCN",
+    "GCNLayer",
+    "MultiHeadCrossModalAttention",
+    "CrossModalAttentionBlock",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineWarmupSchedule",
+    "GradientClipper",
+    "EarlyStopping",
+    "init",
+]

@@ -1,0 +1,92 @@
+"""Cross-modal multi-head attention (the CAW block of DESAlign).
+
+Implements Eq. 9-13 of the paper: for each entity the embeddings of the
+modalities (graph structure, relation, text attribute, vision) attend to
+each other through multi-head attention with modality-shared projections;
+the per-entity *modality confidences* ``w_m`` (Eq. 13) are derived from the
+aggregated attention mass each modality receives and later weight both the
+joint embedding and the intra-modal alignment losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, softmax
+from . import init
+from .module import Module, Parameter
+from .layers import LayerNorm, FeedForward
+
+__all__ = ["MultiHeadCrossModalAttention", "CrossModalAttentionBlock"]
+
+
+class MultiHeadCrossModalAttention(Module):
+    """Multi-head attention across the modality axis of ``(N, M, d)`` inputs."""
+
+    def __init__(self, features: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if features % num_heads != 0:
+            raise ValueError("features must be divisible by num_heads")
+        self.features = features
+        self.num_heads = num_heads
+        self.head_dim = features // num_heads
+        for head in range(num_heads):
+            self._parameters[f"query_{head}"] = Parameter(
+                init.glorot_uniform(rng, features, self.head_dim))
+            self._parameters[f"key_{head}"] = Parameter(
+                init.glorot_uniform(rng, features, self.head_dim))
+            self._parameters[f"value_{head}"] = Parameter(
+                init.glorot_uniform(rng, features, self.head_dim))
+        self.output = Parameter(init.glorot_uniform(rng, features, features))
+
+    def forward(self, modal_stack: Tensor) -> tuple[Tensor, Tensor]:
+        """Attend across modalities.
+
+        Parameters
+        ----------
+        modal_stack:
+            Tensor of shape ``(num_entities, num_modalities, features)``.
+
+        Returns
+        -------
+        attended:
+            Tensor of the same shape as the input (Eq. 9).
+        confidences:
+            Per-entity modality confidences of shape
+            ``(num_entities, num_modalities)`` (Eq. 13).
+        """
+        num_entities, num_modalities, _ = modal_stack.shape
+        scale = 1.0 / np.sqrt(self.head_dim)
+        head_outputs = []
+        attention_sum: Tensor | None = None
+        for head in range(self.num_heads):
+            query = modal_stack @ self._parameters[f"query_{head}"]
+            key = modal_stack @ self._parameters[f"key_{head}"]
+            value = modal_stack @ self._parameters[f"value_{head}"]
+            scores = (query @ key.transpose((0, 2, 1))) * scale
+            attention = softmax(scores, axis=-1)              # (N, M, M)
+            head_outputs.append(attention @ value)
+            incoming = attention.sum(axis=1)                  # mass received by modality j
+            attention_sum = incoming if attention_sum is None else attention_sum + incoming
+        attended = Tensor.concat(head_outputs, axis=-1) @ self.output
+        # Eq. 13: softmax over modalities of the normalised aggregate attention.
+        normaliser = 1.0 / np.sqrt(num_modalities * self.num_heads)
+        confidences = softmax(attention_sum * normaliser, axis=-1)
+        return attended, confidences
+
+
+class CrossModalAttentionBlock(Module):
+    """Full CAW sub-layer: attention + residual LayerNorm + feed-forward (Eq. 9-12)."""
+
+    def __init__(self, features: int, num_heads: int, hidden: int,
+                 rng: np.random.Generator, dropout_rate: float = 0.0):
+        super().__init__()
+        self.attention = MultiHeadCrossModalAttention(features, num_heads, rng)
+        self.norm = LayerNorm(features)
+        self.feed_forward = FeedForward(features, hidden, rng, dropout_rate=dropout_rate)
+
+    def forward(self, modal_stack: Tensor) -> tuple[Tensor, Tensor]:
+        attended, confidences = self.attention(modal_stack)
+        normalised = self.norm(attended + modal_stack)        # Eq. 11
+        fused = self.feed_forward(normalised)                 # Eq. 12
+        return fused, confidences

@@ -1,0 +1,51 @@
+"""Graph Convolutional Network layers (Kipf & Welling, 2017).
+
+Used by the structure channels of several baselines (GCN-Align, EVA): a
+dense formulation ``H' = σ(Ã H W)`` over the symmetrically-normalised
+adjacency with self-loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from . import init
+from .module import Module, ModuleList, Parameter
+
+__all__ = ["GCNLayer", "GCN"]
+
+
+class GCNLayer(Module):
+    """Single dense graph convolution ``Ã X W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, features: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
+        propagated = Tensor(np.asarray(normalized_adjacency, dtype=np.float64)) @ features
+        out = propagated @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GCN(Module):
+    """Stack of GCN layers with ReLU between layers (not after the last)."""
+
+    def __init__(self, features: int, num_layers: int, rng: np.random.Generator):
+        super().__init__()
+        self.layers = ModuleList([
+            GCNLayer(features, features, rng) for _ in range(num_layers)
+        ])
+
+    def forward(self, features: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
+        hidden = features
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden, normalized_adjacency)
+            if index < len(self.layers) - 1:
+                hidden = hidden.relu()
+        return hidden

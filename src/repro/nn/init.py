@@ -1,0 +1,51 @@
+"""Weight-initialisation schemes.
+
+The paper's encoder uses Glorot (Xavier) initialisation (Sec. III-B cites
+Glorot & Bengio 2010); the analysis of Proposition 2 depends on the singular
+values of the weight matrices, so initialisers are exposed explicitly and
+are all driven by an explicit :class:`numpy.random.Generator` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "glorot_normal", "kaiming_uniform", "normal", "zeros", "ones"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation ``U(-a, a)`` with ``a = sqrt(6/(fan_in+fan_out))``."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int,
+                  shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation with std ``sqrt(2/(fan_in+fan_out))``."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                    shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU activations."""
+    limit = np.sqrt(6.0 / fan_in)
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Plain Gaussian initialisation used for embeddings."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,125 @@
+"""Basic layers: linear maps, layer norm, dropout and feed-forward blocks.
+
+These are the building blocks of both the DESAlign encoder (per-modality FC
+layers, Eq. 8; transformer feed-forward, Eq. 12) and the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, dropout as dropout_fn, layer_norm as layer_norm_fn
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "DiagonalLinear", "LayerNorm", "Dropout", "FeedForward", "Sequential", "ReLU"]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class DiagonalLinear(Module):
+    """Diagonal weight matrix transform used by the GAT structure encoder.
+
+    The paper follows Yang et al. (2015) in restricting the structural
+    linear transform ``W_g`` to a diagonal matrix (Sec. IV-A(1)), which
+    keeps the structural channel from over-parameterising and over-smoothing.
+    """
+
+    def __init__(self, features: int):
+        super().__init__()
+        self.features = features
+        self.weight = Parameter(init.ones((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * self.weight
+
+
+class LayerNorm(Module):
+    """Layer normalisation with learned gain and bias (used in CAW, Eq. 11-12)."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gain = Parameter(init.ones((features,)))
+        self.bias = Parameter(init.zeros((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm_fn(x, self.gain, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit RNG for reproducibility."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.rate, self.training, self._rng)
+
+
+class ReLU(Module):
+    """ReLU activation as a module for use inside :class:`Sequential`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: list[Module] = []
+        for index, module in enumerate(modules):
+            self._layers.append(module)
+            self._modules[str(index)] = module
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+class FeedForward(Module):
+    """Transformer feed-forward block with residual connection and layer norm.
+
+    Implements Eq. 12 of the paper:
+    ``LN(ReLU(x W1 + b1) W2 + b2 + x)``.
+    """
+
+    def __init__(self, features: int, hidden: int, rng: np.random.Generator,
+                 dropout_rate: float = 0.0):
+        super().__init__()
+        self.inner = Linear(features, hidden, rng)
+        self.outer = Linear(hidden, features, rng)
+        self.norm = LayerNorm(features)
+        self.dropout = Dropout(dropout_rate, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.inner(x).relu()
+        hidden = self.dropout(hidden)
+        return self.norm(self.outer(hidden) + x)

@@ -1,0 +1,168 @@
+"""Module and parameter abstractions for the numpy neural-network library.
+
+Mirrors the familiar ``torch.nn.Module`` contract at the scale needed by
+this reproduction: parameter registration through attribute assignment,
+recursive parameter collection, train/eval mode switching and simple state
+dict serialisation for checkpointing trained aligners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList", "ModuleDict"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every layer and model in the reproduction."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode switching and gradient management
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by its dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(f"shape mismatch for parameter {name!r}: "
+                                 f"{own[name].data.shape} vs {values.shape}")
+            own[name].data = np.asarray(values, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------
+    # Calling
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of sub-modules."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class ModuleDict(Module):
+    """A string-keyed container of sub-modules (one encoder per modality)."""
+
+    def __init__(self, modules: dict[str, Module] | None = None):
+        super().__init__()
+        self._items: dict[str, Module] = {}
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        self._items[key] = module
+        self._modules[key] = module
+
+    def __getitem__(self, key: str) -> Module:
+        return self._items[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def keys(self):
+        return self._items.keys()
+
+    def items(self):
+        return self._items.items()
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleDict is a container and cannot be called")

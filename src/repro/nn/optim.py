@@ -1,0 +1,193 @@
+"""Optimisers, learning-rate schedules and training utilities.
+
+The paper trains with AdamW (beta1=0.9, beta2=0.999), a cosine warm-up
+schedule over the first 15% of steps, gradient accumulation and early
+stopping (Sec. V-A(4)).  All of those pieces live here so that DESAlign and
+the baselines share identical optimisation machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineWarmupSchedule",
+    "GradientClipper",
+    "EarlyStopping",
+]
+
+
+class Optimizer:
+    """Base optimiser over a list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.data = param.data + velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, param: Parameter, m: np.ndarray, v: np.ndarray,
+                grad: np.ndarray) -> np.ndarray:
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad ** 2
+        m_hat = m / (1 - self.beta1 ** self._step)
+        v_hat = v / (1 - self.beta2 ** self._step)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self._step += 1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            param.data = param.data - self._update(param, m, v, grad)
+
+
+class AdamW(Adam):
+    """AdamW: Adam with decoupled weight decay (the paper's optimiser)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 1e-2):
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step += 1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            update = self._update(param, m, v, param.grad)
+            param.data = param.data - update - self.lr * self.decoupled_weight_decay * param.data
+
+
+class CosineWarmupSchedule:
+    """Cosine decay with linear warm-up over the first ``warmup_fraction`` of steps."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 warmup_fraction: float = 0.15, min_lr_fraction: float = 0.01):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = total_steps
+        self.warmup_steps = max(1, int(round(total_steps * warmup_fraction)))
+        self.min_lr = self.base_lr * min_lr_fraction
+        self._step = 0
+
+    def current_lr(self) -> float:
+        if self._step < self.warmup_steps:
+            return self.base_lr * (self._step + 1) / self.warmup_steps
+        progress = (self._step - self.warmup_steps) / max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def step(self) -> float:
+        """Advance the schedule and install the new learning rate."""
+        lr = self.current_lr()
+        self.optimizer.lr = lr
+        self._step += 1
+        return lr
+
+
+class GradientClipper:
+    """Clip the global gradient norm of a parameter list."""
+
+    def __init__(self, max_norm: float):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def clip(self, parameters: list[Parameter]) -> float:
+        """Scale gradients in place; returns the pre-clip global norm."""
+        total = 0.0
+        for param in parameters:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > self.max_norm and norm > 0:
+            scale = self.max_norm / norm
+            for param in parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+        return norm
+
+
+class EarlyStopping:
+    """Stop training when a monitored metric has not improved for ``patience`` checks."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0, mode: str = "max"):
+        if mode not in {"max", "min"}:
+            raise ValueError("mode must be 'max' or 'min'")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: float | None = None
+        self.counter = 0
+        self.should_stop = False
+
+    def update(self, value: float) -> bool:
+        """Record a metric value; returns True when this is a new best."""
+        improved = (
+            self.best is None
+            or (self.mode == "max" and value > self.best + self.min_delta)
+            or (self.mode == "min" and value < self.best - self.min_delta)
+        )
+        if improved:
+            self.best = value
+            self.counter = 0
+        else:
+            self.counter += 1
+            if self.counter >= self.patience:
+                self.should_stop = True
+        return improved

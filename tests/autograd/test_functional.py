@@ -1,0 +1,124 @@
+"""Tests for the functional building blocks (softmax, layer norm, losses)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    softmax,
+    log_softmax,
+    layer_norm,
+    dropout,
+    l2_normalize,
+    cosine_similarity_matrix,
+    cross_entropy_with_logits,
+    mse_loss,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        probs = softmax(logits, axis=-1).numpy()
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1001.0]]))
+        probs = softmax(logits).numpy()
+        assert np.isfinite(probs).all()
+        assert probs[0, 1] > probs[0, 0]
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        assert np.allclose(log_softmax(logits).numpy(),
+                           np.log(softmax(logits).numpy()), atol=1e-8)
+
+    def test_softmax_gradient_sums_to_zero(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=(3, 4)), requires_grad=True)
+        softmax(logits)[:, 0].sum().backward()
+        # Each row's softmax is invariant to adding a constant to the logits.
+        assert np.allclose(logits.grad.sum(axis=-1), 0.0, atol=1e-8)
+
+
+class TestLayerNorm:
+    def test_normalises_mean_and_variance(self):
+        x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(10, 8)))
+        gain = Tensor(np.ones(8))
+        bias = Tensor(np.zeros(8))
+        out = layer_norm(x, gain, bias).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_applied(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6)))
+        gain = Tensor(np.full(6, 2.0))
+        bias = Tensor(np.full(6, 5.0))
+        out = layer_norm(x, gain, bias).numpy()
+        assert np.allclose(out.mean(axis=-1), 5.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_identity_at_eval_time(self):
+        x = Tensor(np.ones((5, 5)))
+        out = dropout(x, rate=0.5, training=False, rng=np.random.default_rng(0))
+        assert np.allclose(out.numpy(), x.numpy())
+
+    def test_zero_rate_is_identity(self):
+        x = Tensor(np.ones((5, 5)))
+        out = dropout(x, rate=0.0, training=True, rng=np.random.default_rng(0))
+        assert np.allclose(out.numpy(), x.numpy())
+
+    def test_scales_kept_units(self):
+        x = Tensor(np.ones((200, 50)))
+        out = dropout(x, rate=0.5, training=True, rng=np.random.default_rng(0)).numpy()
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        # Expected mean stays roughly 1 because of inverted scaling.
+        assert abs(out.mean() - 1.0) < 0.1
+
+
+class TestNormalisationAndSimilarity:
+    def test_l2_normalize_unit_rows(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 4)))
+        norms = np.linalg.norm(l2_normalize(x).numpy(), axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_cosine_similarity_self_is_one(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        sims = cosine_similarity_matrix(x, x).numpy()
+        assert np.allclose(np.diag(sims), 1.0, atol=1e-6)
+        assert np.all(sims <= 1.0 + 1e-8)
+
+    def test_cosine_similarity_orthogonal_vectors(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        assert abs(cosine_similarity_matrix(a, b).item()) < 1e-8
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy_with_logits(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform_is_log_k(self):
+        logits = Tensor(np.zeros((3, 4)))
+        loss = cross_entropy_with_logits(logits, np.array([0, 1, 2]))
+        assert np.isclose(loss.item(), np.log(4.0), atol=1e-6)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy_with_logits(logits, np.array([1])).backward()
+        # Gradient should decrease the target logit and increase the rest.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+    def test_mse_loss_zero_for_identical(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 4)), requires_grad=True)
+        assert mse_loss(x, x.detach()).item() == pytest.approx(0.0)
+
+    def test_mse_loss_value(self):
+        prediction = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert mse_loss(prediction, target).item() == pytest.approx(5.0)

@@ -1,0 +1,170 @@
+"""Numerical gradient checks for composite expressions and NN functions.
+
+These tests exercise the autograd engine against central finite differences
+on randomly generated inputs, covering the exact operation mix used by the
+DESAlign encoder and losses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    numerical_gradient,
+    softmax,
+    log_softmax,
+    l2_normalize,
+)
+
+
+def _random_tensor(rng, shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestElementwiseGradcheck:
+    def test_polynomial_expression(self, rng):
+        inputs = [_random_tensor(rng, (3, 3)), _random_tensor(rng, (3, 3))]
+
+        def fn(ts):
+            a, b = ts
+            return ((a * b + a) ** 2).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_division_and_sqrt(self, rng):
+        inputs = [Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True),
+                  Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)]
+
+        def fn(ts):
+            a, b = ts
+            return (a / b).sqrt().sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_exp_log_sigmoid_tanh_chain(self, rng):
+        inputs = [Tensor(rng.uniform(0.1, 1.0, size=(5,)), requires_grad=True)]
+
+        def fn(ts):
+            (a,) = ts
+            return (a.exp().log().sigmoid().tanh()).sum()
+
+        assert check_gradients(fn, inputs)
+
+
+class TestLinearAlgebraGradcheck:
+    def test_matmul_chain(self, rng):
+        inputs = [_random_tensor(rng, (4, 3)), _random_tensor(rng, (3, 2)),
+                  _random_tensor(rng, (2, 2))]
+
+        def fn(ts):
+            a, b, c = ts
+            return ((a @ b) @ c).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_batched_matmul(self, rng):
+        inputs = [_random_tensor(rng, (2, 3, 4)), _random_tensor(rng, (4, 3))]
+
+        def fn(ts):
+            a, w = ts
+            return (a @ w).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_transpose_and_reshape(self, rng):
+        inputs = [_random_tensor(rng, (3, 4))]
+
+        def fn(ts):
+            (a,) = ts
+            return (a.T.reshape(2, 6) * 2.0).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_indexing_and_concat(self, rng):
+        inputs = [_random_tensor(rng, (5, 3)), _random_tensor(rng, (5, 2))]
+        index = np.array([0, 2, 2, 4])
+
+        def fn(ts):
+            a, b = ts
+            gathered = a.index_select(index)
+            joined = Tensor.concat([gathered, b.index_select(index)], axis=1)
+            return (joined * joined).sum()
+
+        assert check_gradients(fn, inputs)
+
+
+class TestNeuralFunctionGradcheck:
+    def test_softmax_weighted_sum(self, rng):
+        inputs = [_random_tensor(rng, (3, 5))]
+        weights = rng.normal(size=(3, 5))
+
+        def fn(ts):
+            (a,) = ts
+            return (softmax(a, axis=-1) * Tensor(weights)).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_log_softmax_nll(self, rng):
+        inputs = [_random_tensor(rng, (4, 3))]
+        targets = np.array([0, 2, 1, 1])
+
+        def fn(ts):
+            (a,) = ts
+            rows = np.arange(4)
+            return -log_softmax(a, axis=-1)[(rows, targets)].mean()
+
+        assert check_gradients(fn, inputs)
+
+    def test_l2_normalized_inner_products(self, rng):
+        inputs = [_random_tensor(rng, (3, 4)), _random_tensor(rng, (3, 4))]
+
+        def fn(ts):
+            a, b = ts
+            return (l2_normalize(a) * l2_normalize(b)).sum()
+
+        assert check_gradients(fn, inputs)
+
+    def test_contrastive_style_loss(self, rng):
+        inputs = [_random_tensor(rng, (4, 6)), _random_tensor(rng, (4, 6))]
+
+        def fn(ts):
+            a, b = ts
+            scores = (l2_normalize(a) @ l2_normalize(b).T) * 5.0
+            exp_scores = scores.exp()
+            diag = exp_scores[(np.arange(4), np.arange(4))]
+            return -(diag / exp_scores.sum(axis=1)).log().mean()
+
+        assert check_gradients(fn, inputs)
+
+
+class TestNumericalGradientHelper:
+    def test_numerical_gradient_of_square(self):
+        x = Tensor(np.array([2.0, -3.0]), requires_grad=True)
+
+        def fn(ts):
+            return (ts[0] ** 2).sum()
+
+        grad = numerical_gradient(fn, [x], 0)
+        assert np.allclose(grad, [4.0, -6.0], atol=1e-4)
+
+    def test_check_gradients_detects_wrong_gradient(self):
+        class BrokenTensor(Tensor):
+            def double(self):
+                # Forward doubles the value but claims a wrong gradient.
+                def backward(out):
+                    self._accumulate(out.grad * 3.0)
+                return self._make_result(self.data * 2.0, (self,), backward)
+
+        x = BrokenTensor(np.array([1.0, 2.0]), requires_grad=True)
+
+        def fn(ts):
+            return ts[0].double().sum()
+
+        with pytest.raises(AssertionError):
+            check_gradients(fn, [x])

@@ -1,0 +1,147 @@
+"""Tests for matmul, shape manipulation, indexing and combinators."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+
+
+class TestMatmul:
+    def test_matrix_matrix_forward(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 5))
+        out = Tensor(a) @ Tensor(b)
+        assert np.allclose(out.numpy(), a @ b)
+
+    def test_matrix_matrix_gradients(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)) @ b.numpy().T)
+        assert np.allclose(b.grad, a.numpy().T @ np.ones((3, 2)))
+
+    def test_batched_matmul_gradients(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(5, 4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (5, 3, 4)
+        assert b.grad.shape == (5, 4, 2)
+
+    def test_batched_times_shared_matrix_unbroadcasts(self):
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ w).sum().backward()
+        assert w.grad.shape == (4, 2)
+        expected = np.einsum("bij,bik->jk", a.numpy(), np.ones((5, 3, 2)))
+        assert np.allclose(w.grad, expected)
+
+
+class TestShapeOps:
+    def test_transpose_roundtrip(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.T.T.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_transpose_with_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose((0, 2, 1)).shape == (2, 4, 3)
+
+    def test_reshape_gradient(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert np.allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_getitem_rows(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        a[np.array([0, 2])].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[[0, 2]] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_duplicate_indices_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        a[np.array([1, 1])].sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [2, 2], [0, 0]])
+
+    def test_index_select_matches_numpy(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3))
+        assert np.allclose(a.index_select([3, 0]).numpy(), a.numpy()[[3, 0]])
+
+    def test_column_slice(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        a[:, 1].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[:, 1] = 1.0
+        assert np.allclose(a.grad, expected)
+
+
+class TestCombinators:
+    def test_concat_forward_and_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        out = Tensor.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 2), 2.0))
+        assert np.allclose(b.grad, np.full((2, 3), 2.0))
+
+    def test_stack_forward_and_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+        assert np.allclose(b.grad, np.ones(3))
+
+    def test_stack_on_middle_axis(self):
+        a = Tensor(np.ones((4, 3)))
+        b = Tensor(np.zeros((4, 3)))
+        assert Tensor.stack([a, b], axis=1).shape == (4, 2, 3)
+
+    def test_where_routes_gradients(self):
+        condition = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        Tensor.where(condition, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_concat_without_grads_requires_nothing(self):
+        out = Tensor.concat([Tensor(np.ones(2)), Tensor(np.ones(2))])
+        assert not out.requires_grad
+
+
+class TestBroadcasting:
+    def test_row_vector_broadcast_add(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        (a + bias).sum().backward()
+        assert np.allclose(bias.grad, np.full(4, 3.0))
+
+    def test_column_broadcast_mul(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        scale = Tensor(np.full((3, 1), 2.0), requires_grad=True)
+        (a * scale).sum().backward()
+        assert np.allclose(scale.grad, np.full((3, 1), 4.0))
+
+    def test_scalar_broadcast(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(3.0, requires_grad=True)
+        (a * s).sum().backward()
+        assert np.allclose(s.grad, 4.0)
+
+    @pytest.mark.parametrize("shape_a,shape_b", [((2, 3), (3,)), ((4, 1), (1, 5)), ((1,), (6,))])
+    def test_broadcast_shapes_preserved_in_grads(self, shape_a, shape_b):
+        a = Tensor(np.random.default_rng(0).normal(size=shape_a), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=shape_b), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == shape_a
+        assert b.grad.shape == shape_b

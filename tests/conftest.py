@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task import prepare_task
+from repro.data.synthetic import SyntheticPairConfig, generate_pair
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_pair():
+    """A small but fully featured synthetic alignment task."""
+    config = SyntheticPairConfig(num_entities=40, num_communities=4, seed=7,
+                                 seed_ratio=0.3, name="tiny")
+    return generate_pair(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_pair):
+    """The tiny pair prepared for model consumption."""
+    return prepare_task(tiny_pair, relation_dim=16, attribute_dim=16,
+                        structure_dim=16, seed=3)
+
+
+@pytest.fixture(scope="session")
+def missing_modality_pair():
+    """A synthetic pair with aggressive missing-modality ratios."""
+    config = SyntheticPairConfig(num_entities=40, num_communities=4, seed=11,
+                                 image_coverage_source=0.3, image_coverage_target=0.3,
+                                 attribute_coverage_source=0.4, attribute_coverage_target=0.4,
+                                 seed_ratio=0.3, name="tiny-missing")
+    return generate_pair(config)

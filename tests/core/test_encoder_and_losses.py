@@ -1,0 +1,210 @@
+"""Tests for the multi-modal encoder, contrastive losses and MMSL objective."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    DESAlignConfig,
+    MultiModalSemanticLoss,
+    bidirectional_contrastive_loss,
+    dirichlet_energy_tensor,
+    energy_bound_penalty,
+)
+from repro.core.encoder import MultiModalEncoder
+from repro.kg.laplacian import dirichlet_energy
+
+
+@pytest.fixture
+def encoder_setup(tiny_task):
+    config = DESAlignConfig(hidden_dim=16, feed_forward_dim=32, seed=0)
+    encoder = MultiModalEncoder(
+        config=config,
+        feature_dims=tiny_task.feature_dims,
+        num_entities={"source": tiny_task.source.num_entities,
+                      "target": tiny_task.target.num_entities},
+        rng=np.random.default_rng(0),
+    )
+    return encoder, config, tiny_task
+
+
+class TestMultiModalEncoder:
+    def test_output_shapes(self, encoder_setup):
+        encoder, config, task = encoder_setup
+        output = encoder("source", task.source.features.features, task.source.adjacency)
+        num = task.source.num_entities
+        assert set(output.modal) == set(config.modalities)
+        for modality in config.modalities:
+            assert output.modal[modality].shape == (num, config.hidden_dim)
+            assert output.attended[modality].shape == (num, config.hidden_dim)
+        assert output.confidences.shape == (num, len(config.modalities))
+        assert output.original.shape == (num, config.hidden_dim * len(config.modalities))
+        assert output.fused.shape == output.original.shape
+
+    def test_confidences_sum_to_one(self, encoder_setup):
+        encoder, _, task = encoder_setup
+        output = encoder("source", task.source.features.features, task.source.adjacency)
+        assert np.allclose(output.confidences.numpy().sum(axis=1), 1.0, atol=1e-8)
+
+    def test_joint_selector(self, encoder_setup):
+        encoder, _, task = encoder_setup
+        output = encoder("source", task.source.features.features, task.source.adjacency)
+        assert output.joint("original") is output.original
+        assert output.joint("fused") is output.fused
+        with pytest.raises(ValueError):
+            output.joint("middle")
+
+    def test_sides_share_projection_parameters_but_not_structure(self, encoder_setup):
+        encoder, _, _ = encoder_setup
+        assert encoder.structural_embedding("source") is not encoder.structural_embedding("target")
+        names = dict(encoder.named_parameters())
+        assert "structure_source" in names and "structure_target" in names
+
+    def test_modality_subset_configuration(self, tiny_task):
+        config = DESAlignConfig(hidden_dim=16, modalities=("relation", "vision"))
+        encoder = MultiModalEncoder(
+            config, tiny_task.feature_dims,
+            {"source": tiny_task.source.num_entities,
+             "target": tiny_task.target.num_entities},
+            np.random.default_rng(0))
+        output = encoder("source", tiny_task.source.features.features,
+                         tiny_task.source.adjacency)
+        assert set(output.modal) == {"relation", "vision"}
+        assert output.confidences.shape[1] == 2
+
+    def test_gradients_reach_all_parameters(self, encoder_setup):
+        encoder, _, task = encoder_setup
+        output = encoder("source", task.source.features.features, task.source.adjacency)
+        (output.original.sum() + output.fused.sum()).backward()
+        missing = [name for name, param in encoder.named_parameters()
+                   if param.grad is None and "target" not in name]
+        assert not missing, f"parameters without gradient: {missing}"
+
+
+class TestContrastiveLoss:
+    def _embeddings(self, separation):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(12, 8))
+        source = Tensor(base + 0.01 * rng.normal(size=base.shape), requires_grad=True)
+        target = Tensor(base * separation + (1 - separation) * rng.normal(size=base.shape),
+                        requires_grad=True)
+        return source, target
+
+    def test_aligned_embeddings_give_lower_loss(self):
+        index = np.arange(12)
+        aligned_source, aligned_target = self._embeddings(1.0)
+        random_source, random_target = self._embeddings(0.0)
+        loss_aligned = bidirectional_contrastive_loss(
+            aligned_source, aligned_target, index, index, temperature=0.1)
+        loss_random = bidirectional_contrastive_loss(
+            random_source, random_target, index, index, temperature=0.1)
+        assert loss_aligned.item() < loss_random.item()
+
+    def test_gradients_flow(self):
+        index = np.arange(12)
+        source, target = self._embeddings(0.5)
+        bidirectional_contrastive_loss(source, target, index, index, 0.1).backward()
+        assert source.grad is not None and target.grad is not None
+
+    def test_pair_weights_scale_the_loss(self):
+        index = np.arange(12)
+        source, target = self._embeddings(0.5)
+        unweighted = bidirectional_contrastive_loss(source, target, index, index, 0.1)
+        weighted = bidirectional_contrastive_loss(source, target, index, index, 0.1,
+                                                  pair_weights=np.full(12, 0.5))
+        assert weighted.item() > unweighted.item()
+
+    def test_rejects_mismatched_indices(self):
+        source, target = self._embeddings(0.5)
+        with pytest.raises(ValueError):
+            bidirectional_contrastive_loss(source, target, np.arange(3), np.arange(4), 0.1)
+
+    def test_rejects_empty_batch(self):
+        source, target = self._embeddings(0.5)
+        with pytest.raises(ValueError):
+            bidirectional_contrastive_loss(source, target, np.array([]), np.array([]), 0.1)
+
+
+class TestEnergyTensors:
+    def test_dirichlet_energy_tensor_matches_numpy(self, tiny_task):
+        features = np.random.default_rng(0).normal(size=(tiny_task.source.num_entities, 6))
+        tensor_energy = dirichlet_energy_tensor(Tensor(features), tiny_task.source.laplacian)
+        assert tensor_energy.item() == pytest.approx(
+            dirichlet_energy(features, tiny_task.source.laplacian), rel=1e-8)
+
+    def test_energy_penalty_zero_when_within_bounds(self, tiny_task):
+        rng = np.random.default_rng(1)
+        features = Tensor(rng.normal(size=(tiny_task.source.num_entities, 4)),
+                          requires_grad=True)
+        penalty = energy_bound_penalty(features, features, features,
+                                       tiny_task.source.laplacian,
+                                       floor=0.5, ceiling=2.0)
+        assert penalty.item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_energy_penalty_positive_when_collapsed(self, tiny_task):
+        rng = np.random.default_rng(2)
+        initial = Tensor(rng.normal(size=(tiny_task.source.num_entities, 4)))
+        collapsed = Tensor(np.ones((tiny_task.source.num_entities, 4)) * 0.001,
+                           requires_grad=True)
+        penalty = energy_bound_penalty(collapsed, initial, initial,
+                                       tiny_task.source.laplacian,
+                                       floor=0.5, ceiling=2.0)
+        assert penalty.item() > 0.0
+
+
+class TestMultiModalSemanticLoss:
+    def _outputs(self, tiny_task, config):
+        encoder = MultiModalEncoder(
+            config, tiny_task.feature_dims,
+            {"source": tiny_task.source.num_entities,
+             "target": tiny_task.target.num_entities},
+            np.random.default_rng(0))
+        source = encoder("source", tiny_task.source.features.features,
+                         tiny_task.source.adjacency)
+        target = encoder("target", tiny_task.target.features.features,
+                         tiny_task.target.adjacency)
+        return source, target
+
+    def test_breakdown_contains_all_active_terms(self, tiny_task):
+        config = DESAlignConfig(hidden_dim=16, seed=0)
+        source, target = self._outputs(tiny_task, config)
+        objective = MultiModalSemanticLoss(config)
+        seeds = tiny_task.seed_arrays()
+        breakdown = objective(source, target, seeds[0], seeds[1],
+                              source_laplacian=tiny_task.source.laplacian)
+        assert breakdown.total.item() > 0
+        assert breakdown.task_initial > 0
+        assert breakdown.task_final > 0
+        assert set(breakdown.modal_previous) == set(config.modalities)
+        assert set(breakdown.modal_final) == set(config.modalities)
+        summary = breakdown.as_dict()
+        assert "modal_prev/vision" in summary
+
+    def test_disabling_terms_shrinks_the_breakdown(self, tiny_task):
+        config = DESAlignConfig(hidden_dim=16, seed=0,
+                                use_initial_task_loss=False,
+                                use_previous_modal_loss=False)
+        source, target = self._outputs(tiny_task, config)
+        breakdown = MultiModalSemanticLoss(config)(
+            source, target, *tiny_task.seed_arrays())
+        assert breakdown.task_initial == 0.0
+        assert breakdown.modal_previous == {}
+        assert breakdown.task_final > 0
+
+    def test_all_terms_disabled_raises(self, tiny_task):
+        config = DESAlignConfig(hidden_dim=16, seed=0,
+                                use_initial_task_loss=False,
+                                use_final_task_loss=False,
+                                use_previous_modal_loss=False,
+                                use_final_modal_loss=False)
+        source, target = self._outputs(tiny_task, config)
+        with pytest.raises(ValueError):
+            MultiModalSemanticLoss(config)(source, target, *tiny_task.seed_arrays())
+
+    def test_energy_penalty_recorded_when_enabled(self, tiny_task):
+        config = DESAlignConfig(hidden_dim=16, seed=0, energy_weight=1.0)
+        source, target = self._outputs(tiny_task, config)
+        breakdown = MultiModalSemanticLoss(config)(
+            source, target, *tiny_task.seed_arrays(),
+            source_laplacian=tiny_task.source.laplacian)
+        assert breakdown.energy_penalty >= 0.0

@@ -1,0 +1,143 @@
+"""Tests for modal feature construction (BoW encoders, imputation, masks)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ModalFeatureSet,
+    bag_of_attributes,
+    bag_of_relations,
+    build_feature_set,
+    visual_feature_matrix,
+)
+from repro.kg import MultiModalKG
+
+
+@pytest.fixture
+def graph():
+    return MultiModalKG.from_triples(
+        num_entities=6,
+        relation_triples=[(0, 0, 1), (1, 1, 2), (2, 2, 3), (3, 0, 4), (0, 1, 5)],
+        attribute_triples=[(0, 0, "x"), (0, 1, "y"), (1, 0, "z"), (3, 2, "w")],
+        image_features={0: [1.0, 2.0, 3.0], 2: [4.0, 5.0, 6.0]},
+        num_relations=3,
+        num_attributes=3,
+        name="feat-test",
+    )
+
+
+class TestBagOfWords:
+    def test_relation_bow_counts_incident_edges(self, graph):
+        features = bag_of_relations(graph)
+        assert features.shape == (6, 3)
+        # Entity 0 participates in two triples: (0, r0, 1) and (0, r1, 5).
+        assert features[0].sum() == 2.0
+        assert np.all(features >= 0)
+
+    def test_relation_bow_total_mass_is_twice_triples(self, graph):
+        features = bag_of_relations(graph)
+        assert features.sum() == 2 * graph.num_relation_triples
+
+    def test_attribute_bow_counts(self, graph):
+        features = bag_of_attributes(graph)
+        assert features.shape == (6, 3)
+        assert features[0].sum() == 2.0
+        assert features[5].sum() == 0.0
+
+    def test_feature_hashing_respects_requested_dim(self, graph):
+        features = bag_of_relations(graph, dim=2)
+        assert features.shape == (6, 2)
+        assert features.sum() == 2 * graph.num_relation_triples
+
+    def test_empty_vocabulary_graph(self):
+        empty = MultiModalKG.from_triples(num_entities=3, relation_triples=[])
+        assert bag_of_relations(empty).shape[0] == 3
+        assert bag_of_attributes(empty).shape[0] == 3
+
+
+class TestVisualFeatures:
+    def test_matrix_and_mask(self, graph):
+        features, mask = visual_feature_matrix(graph)
+        assert features.shape == (6, 3)
+        assert mask.tolist() == [True, False, True, False, False, False]
+        assert np.allclose(features[0], [1.0, 2.0, 3.0])
+        assert np.allclose(features[1], 0.0)
+
+    def test_padding_to_larger_dim(self, graph):
+        features, _ = visual_feature_matrix(graph, dim=5)
+        assert features.shape == (6, 5)
+        assert np.allclose(features[0, 3:], 0.0)
+
+    def test_graph_without_images(self):
+        empty = MultiModalKG.from_triples(num_entities=3, relation_triples=[])
+        features, mask = visual_feature_matrix(empty, dim=4)
+        assert features.shape == (3, 4)
+        assert not mask.any()
+
+
+class TestBuildFeatureSet:
+    def test_all_modalities_present(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        assert set(feature_set.features) == {"graph", "relation", "attribute", "vision"}
+        assert feature_set.num_entities == 6
+
+    def test_masks_reflect_native_coverage(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        assert feature_set.masks["vision"].sum() == 2
+        assert feature_set.masks["attribute"].sum() == 3
+        assert feature_set.masks["graph"].all()
+
+    def test_missing_ratio(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        assert feature_set.missing_ratio("vision") == pytest.approx(4 / 6)
+        assert feature_set.missing_ratio("graph") == 0.0
+
+    def test_random_imputation_fills_missing_rows(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0),
+                                        imputation="random_from_distribution")
+        vision = feature_set.features["vision"]
+        # Imputed rows are not all zero (they follow the observed distribution).
+        assert np.abs(vision[1]).sum() > 0
+
+    def test_zero_imputation(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0), imputation="zero")
+        assert np.allclose(feature_set.features["vision"][1], 0.0)
+
+    def test_mean_imputation(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0), imputation="mean")
+        expected = np.mean([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]], axis=0)
+        assert np.allclose(feature_set.features["vision"][1], expected)
+
+    def test_unknown_imputation_raises(self, graph):
+        with pytest.raises(ValueError):
+            build_feature_set(graph, np.random.default_rng(0), imputation="magic")
+
+    def test_feature_dims_follow_arguments(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0),
+                                        relation_dim=7, attribute_dim=9,
+                                        vision_dim=3, structure_dim=11)
+        dims = feature_set.dims()
+        assert dims == {"graph": 11, "relation": 7, "attribute": 9, "vision": 3}
+
+
+class TestConsistencyPartition:
+    def test_partition_is_disjoint_cover(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        consistent, sparse, missing = feature_set.consistency_partition()
+        union = np.concatenate([consistent, sparse, missing])
+        assert sorted(union.tolist()) == list(range(6))
+        assert len(set(union.tolist())) == 6
+
+    def test_entities_missing_a_modality_are_in_missing_set(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        _, _, missing = feature_set.consistency_partition()
+        # Entity 5 has no attributes and no image: must be inconsistent.
+        assert 5 in missing.tolist()
+
+    def test_partition_without_graph_reference(self, graph):
+        feature_set = build_feature_set(graph, np.random.default_rng(0))
+        detached = ModalFeatureSet(features=feature_set.features,
+                                   masks=feature_set.masks, graph=None)
+        consistent, sparse, missing = detached.consistency_partition()
+        assert len(sparse) == 0
+        assert len(consistent) + len(missing) == 6

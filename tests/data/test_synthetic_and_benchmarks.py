@@ -1,0 +1,172 @@
+"""Tests for the synthetic MMKG pair generator and the benchmark presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ALL_DATASETS,
+    BILINGUAL_DATASETS,
+    MONOLINGUAL_DATASETS,
+    MISSING_RATIOS,
+    SyntheticPairConfig,
+    benchmark_suite,
+    dataset_preset,
+    generate_pair,
+    generate_world,
+    is_bilingual,
+    load_benchmark,
+)
+
+
+class TestWorldGeneration:
+    def test_world_shapes(self):
+        config = SyntheticPairConfig(num_entities=50, seed=1)
+        world = generate_world(config, np.random.default_rng(1))
+        assert world.latent.shape == (50, config.latent_dim)
+        assert world.communities.shape == (50,)
+        assert len(world.base_edges) > 0
+
+    def test_skeleton_is_connected(self):
+        import networkx as nx
+        config = SyntheticPairConfig(num_entities=60, seed=2)
+        world = generate_world(config, np.random.default_rng(2))
+        graph = nx.Graph(world.base_edges)
+        graph.add_nodes_from(range(60))
+        assert nx.is_connected(graph)
+
+    def test_determinism_given_seed(self):
+        config = SyntheticPairConfig(num_entities=30, seed=3)
+        world_a = generate_world(config, np.random.default_rng(3))
+        world_b = generate_world(config, np.random.default_rng(3))
+        assert np.allclose(world_a.latent, world_b.latent)
+        assert world_a.base_edges == world_b.base_edges
+
+
+class TestPairGeneration:
+    def test_pair_shapes_and_alignments(self):
+        pair = generate_pair(SyntheticPairConfig(num_entities=40, seed=4))
+        assert pair.source.num_entities == 40
+        assert pair.target.num_entities == 40
+        assert pair.num_alignments == 40
+        # Alignments are a permutation of target entities.
+        targets = sorted(p.target for p in pair.alignments)
+        assert targets == list(range(40))
+
+    def test_determinism(self):
+        config = SyntheticPairConfig(num_entities=30, seed=5)
+        first = generate_pair(config)
+        second = generate_pair(config)
+        assert first.source.num_relation_triples == second.source.num_relation_triples
+        assert [(p.source, p.target) for p in first.alignments] == \
+               [(p.source, p.target) for p in second.alignments]
+
+    def test_different_seeds_differ(self):
+        base = SyntheticPairConfig(num_entities=30, seed=6)
+        other = base.with_overrides(seed=7)
+        assert [(p.source, p.target) for p in generate_pair(base).alignments] != \
+               [(p.source, p.target) for p in generate_pair(other).alignments]
+
+    def test_coverage_ratios_are_respected(self):
+        config = SyntheticPairConfig(num_entities=200, seed=8,
+                                     image_coverage_source=0.4,
+                                     image_coverage_target=0.9,
+                                     attribute_coverage_source=0.5)
+        pair = generate_pair(config)
+        assert abs(pair.source.image_coverage() - 0.4) < 0.12
+        assert abs(pair.target.image_coverage() - 0.9) < 0.12
+        assert abs(pair.source.attribute_coverage() - 0.5) < 0.15
+
+    def test_target_graph_is_sparser_with_triple_ratio(self):
+        config = SyntheticPairConfig(num_entities=100, seed=9, triple_ratio_target=0.4,
+                                     edge_noise_target=0.0, edge_noise_source=0.0)
+        pair = generate_pair(config)
+        assert pair.target.num_relation_triples < pair.source.num_relation_triples
+
+    def test_aligned_entities_share_visual_semantics(self):
+        # Across the whole dataset, the visual features of aligned entities
+        # should be more similar than those of random pairs (shared latent).
+        config = SyntheticPairConfig(num_entities=80, seed=10,
+                                     image_coverage_source=1.0,
+                                     image_coverage_target=1.0,
+                                     feature_noise=0.05)
+        pair = generate_pair(config)
+        source_feats = pair.source.image_features
+        target_feats = pair.target.image_features
+
+        def normalised(vec):
+            return vec / (np.linalg.norm(vec) + 1e-12)
+
+        aligned, random_pairs = [], []
+        rng = np.random.default_rng(0)
+        for alignment in pair.alignments:
+            aligned.append(normalised(source_feats[alignment.source])
+                           @ normalised(target_feats[alignment.target]))
+            random_target = int(rng.integers(0, 80))
+            random_pairs.append(normalised(source_feats[alignment.source])
+                                @ normalised(target_feats[random_target]))
+        assert np.mean(aligned) > np.mean(random_pairs)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("dataset", ALL_DATASETS)
+    def test_every_preset_generates(self, dataset):
+        pair = load_benchmark(dataset, num_entities=40)
+        assert pair.source.num_entities == 40
+        assert pair.name == dataset
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_preset("DBP15K_DE_EN")
+
+    def test_bilingual_flag(self):
+        assert all(is_bilingual(d) for d in BILINGUAL_DATASETS)
+        assert not any(is_bilingual(d) for d in MONOLINGUAL_DATASETS)
+
+    def test_monolingual_presets_have_asymmetric_vocabularies(self):
+        config = dataset_preset("FBYG15K")
+        assert config.num_relations_source > config.num_relations_target
+
+    def test_seed_ratio_override(self):
+        pair = load_benchmark("FBDB15K", seed_ratio=0.5, num_entities=40)
+        train, test = pair.split(np.random.default_rng(0))
+        assert abs(len(train) / (len(train) + len(test)) - 0.5) < 0.05
+
+
+class TestSplitManipulation:
+    def test_image_ratio_reduces_coverage_in_both_graphs(self):
+        full = load_benchmark("DBP15K_FR_EN", num_entities=60)
+        reduced = load_benchmark("DBP15K_FR_EN", num_entities=60, image_ratio=0.2)
+        assert reduced.source.num_images < full.source.num_images
+        assert reduced.target.num_images < full.target.num_images
+        assert reduced.source.image_coverage() <= 0.25
+
+    def test_text_ratio_reduces_attribute_coverage(self):
+        full = load_benchmark("FBDB15K", num_entities=60)
+        reduced = load_benchmark("FBDB15K", num_entities=60, text_ratio=0.1)
+        assert reduced.source.attribute_coverage() < full.source.attribute_coverage()
+
+    def test_ratio_splits_share_the_same_alignments(self):
+        full = load_benchmark("FBDB15K", num_entities=60)
+        reduced = load_benchmark("FBDB15K", num_entities=60, image_ratio=0.3)
+        assert [(p.source, p.target) for p in full.alignments] == \
+               [(p.source, p.target) for p in reduced.alignments]
+
+
+class TestBenchmarkSuite:
+    def test_suite_has_sixty_splits(self):
+        assert len(benchmark_suite()) == 60
+
+    def test_split_identifiers_are_unique(self):
+        identifiers = [split.identifier for split in benchmark_suite()]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_suite_covers_all_missing_ratios(self):
+        suite = benchmark_suite()
+        text_ratios = {s.text_ratio for s in suite if s.text_ratio is not None}
+        image_ratios = {s.image_ratio for s in suite if s.image_ratio is not None}
+        assert set(MISSING_RATIOS) <= text_ratios
+        assert set(MISSING_RATIOS) <= image_ratios
+
+    def test_suite_covers_all_datasets(self):
+        datasets = {split.dataset for split in benchmark_suite()}
+        assert set(ALL_DATASETS) <= datasets

@@ -1,0 +1,98 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the public API exactly as the examples and benchmarks do:
+generate a benchmark split, prepare the task, train DESAlign and a baseline,
+evaluate, serialise, and reload.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DESAlign,
+    DESAlignConfig,
+    Evaluator,
+    Trainer,
+    TrainingConfig,
+    load_benchmark,
+    prepare_task,
+)
+from repro.baselines import build_model
+from repro.kg import load_pair_json, save_pair_json
+
+
+@pytest.fixture(scope="module")
+def benchmark_task():
+    pair = load_benchmark("FBDB15K", seed_ratio=0.3, num_entities=60)
+    return prepare_task(pair, structure_dim=16, relation_dim=24, attribute_dim=24, seed=0)
+
+
+class TestFullPipeline:
+    def test_desalign_beats_random_guessing(self, benchmark_task):
+        model = DESAlign(benchmark_task, DESAlignConfig(hidden_dim=16, seed=0))
+        result = Trainer(model, benchmark_task,
+                         TrainingConfig(epochs=40, eval_every=0, seed=0)).fit()
+        num_candidates = len(np.unique(benchmark_task.test_pairs[:, 1]))
+        random_h1 = 1.0 / num_candidates
+        assert result.metrics.hits_at_1 > 3 * random_h1
+        assert result.metrics.hits_at_10 > 10 * random_h1 * 0.5
+
+    def test_desalign_outperforms_structure_only_baseline(self, benchmark_task):
+        desalign = DESAlign(benchmark_task, DESAlignConfig(hidden_dim=16, seed=0))
+        desalign_result = Trainer(desalign, benchmark_task,
+                                  TrainingConfig(epochs=40, eval_every=0, seed=0)).fit()
+        gcn = build_model("GCN-align", benchmark_task)
+        gcn_result = Trainer(gcn, benchmark_task,
+                             TrainingConfig(epochs=40, eval_every=0, seed=0)).fit()
+        assert desalign_result.metrics.mrr > gcn_result.metrics.mrr
+
+    def test_iterative_training_does_not_degrade_catastrophically(self, benchmark_task):
+        basic = DESAlign(benchmark_task, DESAlignConfig(hidden_dim=16, seed=0))
+        basic_result = Trainer(basic, benchmark_task,
+                               TrainingConfig(epochs=30, eval_every=0, seed=0)).fit()
+        iterative = DESAlign(benchmark_task, DESAlignConfig(hidden_dim=16, seed=0))
+        iterative_result = Trainer(
+            iterative, benchmark_task,
+            TrainingConfig(epochs=30, eval_every=0, iterative=True,
+                           iterative_rounds=1, iterative_epochs=10, seed=0)).fit()
+        assert iterative_result.metrics.mrr > 0.5 * basic_result.metrics.mrr
+
+    def test_serialisation_roundtrip_through_training(self, benchmark_task, tmp_path):
+        path = save_pair_json(benchmark_task.pair, tmp_path / "pair.json")
+        reloaded_pair = load_pair_json(path)
+        reloaded_task = prepare_task(reloaded_pair, structure_dim=16,
+                                     relation_dim=24, attribute_dim=24, seed=0)
+        model = DESAlign(reloaded_task, DESAlignConfig(hidden_dim=16, seed=0))
+        result = Trainer(model, reloaded_task,
+                         TrainingConfig(epochs=5, eval_every=0, seed=0)).fit()
+        assert np.isfinite(result.metrics.mrr)
+
+    def test_reproducibility_of_training(self):
+        def run_once():
+            pair = load_benchmark("FBYG15K", seed_ratio=0.3, num_entities=40)
+            task = prepare_task(pair, structure_dim=16, seed=0)
+            model = DESAlign(task, DESAlignConfig(hidden_dim=16, seed=0))
+            return Trainer(model, task,
+                           TrainingConfig(epochs=10, eval_every=0, seed=0)).fit()
+
+        first = run_once()
+        second = run_once()
+        assert first.metrics.hits_at_1 == pytest.approx(second.metrics.hits_at_1)
+        assert first.metrics.mrr == pytest.approx(second.metrics.mrr)
+        assert np.allclose(first.history.losses, second.history.losses)
+
+
+class TestMissingModalityRobustnessShape:
+    """Directional check of the paper's core robustness claim (Tables II/III)."""
+
+    def test_propagation_recovers_accuracy_under_missing_images(self):
+        pair = load_benchmark("DBP15K_FR_EN", seed_ratio=0.3, num_entities=60,
+                              image_ratio=0.2, text_ratio=0.3)
+        task = prepare_task(pair, structure_dim=16, relation_dim=24,
+                            attribute_dim=24, seed=0)
+        model = DESAlign(task, DESAlignConfig(hidden_dim=16, seed=0, propagation_iters=2))
+        Trainer(model, task, TrainingConfig(epochs=40, eval_every=0, seed=0)).fit()
+        evaluator = Evaluator(task)
+        with_propagation = evaluator.evaluate_model(model, use_propagation=True)
+        without_propagation = evaluator.evaluate_model(model, use_propagation=False)
+        assert with_propagation.mrr >= without_propagation.mrr

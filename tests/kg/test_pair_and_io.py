@@ -1,0 +1,117 @@
+"""Tests for the KGPair alignment-task container and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    AlignmentPair,
+    KGPair,
+    MultiModalKG,
+    load_pair_dbp_format,
+    load_pair_json,
+    save_pair_dbp_format,
+    save_pair_json,
+)
+
+
+def _make_graph(num_entities, name):
+    rng = np.random.default_rng(hash(name) % 2 ** 31)
+    triples = [(i, 0, (i + 1) % num_entities) for i in range(num_entities)]
+    attributes = [(i, i % 3, f"v{i}") for i in range(0, num_entities, 2)]
+    images = {i: rng.normal(size=4) for i in range(0, num_entities, 3)}
+    return MultiModalKG.from_triples(num_entities, triples, attributes, images,
+                                     num_relations=2, num_attributes=3, name=name)
+
+
+@pytest.fixture
+def pair():
+    source = _make_graph(10, "src")
+    target = _make_graph(10, "tgt")
+    alignments = [AlignmentPair(i, (i + 3) % 10) for i in range(10)]
+    return KGPair(source=source, target=target, alignments=alignments,
+                  seed_ratio=0.3, name="toy-pair")
+
+
+class TestKGPair:
+    def test_split_sizes_follow_seed_ratio(self, pair):
+        train, test = pair.split(np.random.default_rng(0))
+        assert len(train) == 3
+        assert len(test) == 7
+        assert len(train) + len(test) == pair.num_alignments
+
+    def test_split_is_cached(self, pair):
+        first_train, _ = pair.split(np.random.default_rng(0))
+        second_train, _ = pair.split(np.random.default_rng(99))
+        assert [(p.source, p.target) for p in first_train] == \
+               [(p.source, p.target) for p in second_train]
+
+    def test_train_and_test_are_disjoint(self, pair):
+        train, test = pair.split()
+        train_set = {(p.source, p.target) for p in train}
+        test_set = {(p.source, p.target) for p in test}
+        assert not train_set & test_set
+
+    def test_with_seed_ratio_returns_fresh_split(self, pair):
+        larger = pair.with_seed_ratio(0.8)
+        train, _ = larger.split(np.random.default_rng(0))
+        assert len(train) == 8
+
+    def test_rejects_invalid_seed_ratio(self, pair):
+        with pytest.raises(ValueError):
+            pair.with_seed_ratio(0.0)
+        with pytest.raises(ValueError):
+            pair.with_seed_ratio(1.0)
+
+    def test_rejects_non_bijective_alignments(self):
+        source = _make_graph(4, "s")
+        target = _make_graph(4, "t")
+        with pytest.raises(ValueError):
+            KGPair(source, target,
+                   [AlignmentPair(0, 1), AlignmentPair(1, 1)], seed_ratio=0.5)
+
+    def test_rejects_out_of_range_alignment(self):
+        source = _make_graph(4, "s")
+        target = _make_graph(4, "t")
+        with pytest.raises(ValueError):
+            KGPair(source, target, [AlignmentPair(0, 9)], seed_ratio=0.5)
+
+    def test_statistics_structure(self, pair):
+        stats = pair.statistics()
+        assert set(stats) == {"source", "target", "task"}
+        assert stats["task"]["alignments"] == 10
+
+
+class TestJsonSerialisation:
+    def test_roundtrip_preserves_everything(self, pair, tmp_path):
+        path = save_pair_json(pair, tmp_path / "pair.json")
+        loaded = load_pair_json(path)
+        assert loaded.name == pair.name
+        assert loaded.seed_ratio == pair.seed_ratio
+        assert loaded.num_alignments == pair.num_alignments
+        assert loaded.source.num_entities == pair.source.num_entities
+        assert loaded.source.num_relation_triples == pair.source.num_relation_triples
+        assert loaded.target.num_attribute_triples == pair.target.num_attribute_triples
+        for entity, features in pair.source.image_features.items():
+            assert np.allclose(loaded.source.image_features[entity], features)
+
+    def test_creates_parent_directories(self, pair, tmp_path):
+        path = save_pair_json(pair, tmp_path / "nested" / "dir" / "pair.json")
+        assert path.exists()
+
+
+class TestDbpFormatSerialisation:
+    def test_roundtrip(self, pair, tmp_path):
+        directory = save_pair_dbp_format(pair, tmp_path / "dbp")
+        loaded = load_pair_dbp_format(directory)
+        assert loaded.source.num_entities == pair.source.num_entities
+        assert loaded.target.num_relation_triples == pair.target.num_relation_triples
+        assert loaded.num_alignments == pair.num_alignments
+        assert loaded.seed_ratio == pytest.approx(pair.seed_ratio)
+        assert loaded.source.num_relations == pair.source.num_relations
+
+    def test_expected_files_written(self, pair, tmp_path):
+        directory = save_pair_dbp_format(pair, tmp_path / "dbp")
+        for name in ("triples_1", "triples_2", "attr_triples_1", "attr_triples_2",
+                     "ent_ids_1", "ent_ids_2", "ent_links", "meta.json",
+                     "images_1.npz", "images_2.npz"):
+            assert (directory / name).exists(), name

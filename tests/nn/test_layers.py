@@ -1,0 +1,133 @@
+"""Tests for Linear, DiagonalLinear, LayerNorm, Dropout, FeedForward and init."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    DiagonalLinear,
+    Dropout,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    init,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        assert layer(Tensor(np.zeros((4, 5)))).shape == (4, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_computation(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        assert np.allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+
+        def fn(_):
+            return (layer(x) ** 2).sum()
+
+        assert check_gradients(fn, [x, layer.weight, layer.bias])
+
+
+class TestDiagonalLinear:
+    def test_is_elementwise_scaling(self):
+        layer = DiagonalLinear(4)
+        layer.weight.data = np.array([1.0, 2.0, 3.0, 4.0])
+        x = np.ones((2, 4))
+        assert np.allclose(layer(Tensor(x)).numpy(), x * layer.weight.numpy())
+
+    def test_parameter_count_is_linear_in_dim(self):
+        assert DiagonalLinear(300).num_parameters() == 300
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        layer = LayerNorm(16)
+        x = Tensor(rng.normal(3.0, 5.0, size=(8, 16)))
+        out = layer(x).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(5)
+        x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+
+        def fn(_):
+            return (layer(x) ** 2).sum()
+
+        assert check_gradients(fn, [x, layer.gain, layer.bias])
+
+
+class TestDropout:
+    def test_respects_training_flag(self, rng):
+        layer = Dropout(0.9, rng)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(layer(x).numpy(), 1.0)
+
+    def test_drops_units_when_training(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.train()
+        out = layer(Tensor(np.ones((50, 50)))).numpy()
+        assert (out == 0).any()
+
+
+class TestFeedForward:
+    def test_preserves_shape(self, rng):
+        block = FeedForward(8, 16, rng)
+        assert block(Tensor(np.zeros((5, 8)))).shape == (5, 8)
+
+    def test_residual_path_keeps_information(self, rng):
+        block = FeedForward(8, 16, rng)
+        # Zero out the inner weights: output must reduce to LayerNorm(x).
+        block.inner.weight.data[:] = 0.0
+        block.inner.bias.data[:] = 0.0
+        block.outer.weight.data[:] = 0.0
+        block.outer.bias.data[:] = 0.0
+        x = rng.normal(size=(3, 8))
+        out = block(Tensor(x)).numpy()
+        centred = (x - x.mean(axis=-1, keepdims=True))
+        expected = centred / np.sqrt(x.var(axis=-1, keepdims=True) + 1e-5)
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        block = FeedForward(6, 12, rng)
+        block(Tensor(rng.normal(size=(4, 6)))).sum().backward()
+        for name, param in block.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestInitialisers:
+    def test_glorot_uniform_bounds(self, rng):
+        weights = init.glorot_uniform(rng, 100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert weights.shape == (100, 100)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_normal_std(self, rng):
+        weights = init.glorot_normal(rng, 400, 400)
+        assert abs(weights.std() - np.sqrt(2.0 / 800)) < 5e-3
+
+    def test_kaiming_uniform_scale_depends_on_fan_in(self, rng):
+        narrow = init.kaiming_uniform(rng, 10, 5)
+        wide = init.kaiming_uniform(rng, 1000, 5)
+        assert np.abs(narrow).max() > np.abs(wide).max()
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((2,)) == 1)

@@ -1,0 +1,119 @@
+"""Tests for the Module / Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, ModuleDict, ModuleList, Parameter, Sequential, ReLU
+
+
+class TinyModel(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(4, 3, rng)
+        self.second = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+@pytest.fixture
+def model():
+    return TinyModel(np.random.default_rng(0))
+
+
+class TestParameterRegistration:
+    def test_parameters_are_collected_recursively(self, model):
+        names = dict(model.named_parameters())
+        assert "first.weight" in names
+        assert "first.bias" in names
+        assert "second.weight" in names
+        assert "scale" in names
+
+    def test_num_parameters_counts_scalars(self, model):
+        expected = 4 * 3 + 3 + 3 * 2 + 2 + 2
+        assert model.num_parameters() == expected
+
+    def test_parameters_require_grad(self, model):
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_modules_iterates_children(self, model):
+        assert len(list(model.modules())) == 3
+
+
+class TestModesAndGradients:
+    def test_train_eval_toggles_flag(self, model):
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self, model):
+        out = model(Tensor(np.ones((5, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_backward_reaches_every_parameter(self, model):
+        model(Tensor(np.random.default_rng(1).normal(size=(5, 4)))).sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestStateDict:
+    def test_roundtrip(self, model):
+        state = model.state_dict()
+        clone = TinyModel(np.random.default_rng(42))
+        clone.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert np.allclose(a.numpy(), b.numpy())
+
+    def test_state_dict_is_a_copy(self, model):
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(model.scale.numpy(), 99.0)
+
+    def test_load_rejects_missing_keys(self, model):
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_bad_shapes(self, model):
+        state = model.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list_registers_items(self):
+        rng = np.random.default_rng(0)
+        layers = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        assert len(layers) == 2
+        assert len(list(layers[0].named_parameters())) == 2
+        parent = Module()
+        parent.layers = layers
+        assert len(parent.parameters()) == 4
+
+    def test_module_dict_lookup(self):
+        rng = np.random.default_rng(0)
+        container = ModuleDict({"a": Linear(2, 3, rng)})
+        container["b"] = Linear(3, 2, rng)
+        assert "a" in container and "b" in container
+        assert set(container.keys()) == {"a", "b"}
+
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 3, rng), ReLU(), Linear(3, 1, rng))
+        out = seq(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 1)
+        assert len(seq) == 3
+
+    def test_containers_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])()
+        with pytest.raises(RuntimeError):
+            ModuleDict({})()

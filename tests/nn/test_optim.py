@@ -1,0 +1,143 @@
+"""Tests for optimisers, schedules, clipping and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    Adam,
+    AdamW,
+    CosineWarmupSchedule,
+    EarlyStopping,
+    GradientClipper,
+    Parameter,
+    SGD,
+)
+
+
+def _quadratic_step(parameter, optimizer):
+    """One optimisation step of f(w) = ||w||^2 / 2."""
+    optimizer.zero_grad()
+    loss = (parameter * parameter).sum() * 0.5
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_moves_against_gradient(self):
+        parameter = Parameter(np.array([1.0, -2.0]))
+        SGD([parameter], lr=0.1).step.__self__  # noqa: B018 - silence lint on attribute access
+        optimizer = SGD([parameter], lr=0.1)
+        _quadratic_step(parameter, optimizer)
+        assert np.allclose(parameter.numpy(), [0.9, -1.8])
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([1.0]))
+        with_momentum = Parameter(np.array([1.0]))
+        plain_opt = SGD([plain], lr=0.05)
+        momentum_opt = SGD([with_momentum], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            _quadratic_step(plain, plain_opt)
+            _quadratic_step(with_momentum, momentum_opt)
+        assert abs(with_momentum.item()) < abs(plain.item())
+
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdamFamily:
+    def test_adam_converges_on_quadratic(self):
+        parameter = Parameter(np.array([3.0, -4.0]))
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            _quadratic_step(parameter, optimizer)
+        assert np.allclose(parameter.numpy(), 0.0, atol=1e-2)
+
+    def test_adam_skips_parameters_without_grad(self):
+        used = Parameter(np.array([1.0]))
+        unused = Parameter(np.array([5.0]))
+        optimizer = Adam([used, unused], lr=0.1)
+        _quadratic_step(used, optimizer)
+        assert np.allclose(unused.numpy(), [5.0])
+
+    def test_adamw_decays_weights_decoupled(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = AdamW([parameter], lr=0.0001, weight_decay=0.5)
+        # Gradient of a constant loss is zero, so only weight decay acts.
+        optimizer.zero_grad()
+        loss = (parameter * 0.0).sum()
+        loss.backward()
+        optimizer.step()
+        assert parameter.item() < 1.0
+
+    def test_adamw_converges(self):
+        parameter = Parameter(np.array([2.0]))
+        optimizer = AdamW([parameter], lr=0.2, weight_decay=0.01)
+        for _ in range(100):
+            _quadratic_step(parameter, optimizer)
+        assert abs(parameter.item()) < 5e-2
+
+
+class TestCosineWarmupSchedule:
+    def test_warmup_then_decay(self):
+        parameter = Parameter(np.ones(1))
+        optimizer = Adam([parameter], lr=1.0)
+        schedule = CosineWarmupSchedule(optimizer, total_steps=100, warmup_fraction=0.1)
+        lrs = [schedule.step() for _ in range(100)]
+        assert lrs[0] < lrs[9]                       # warming up
+        assert abs(lrs[9] - 1.0) < 1e-6              # reaches base lr
+        assert lrs[-1] < lrs[20]                     # decays afterwards
+        assert lrs[-1] >= 0.0
+
+    def test_rejects_bad_total_steps(self):
+        with pytest.raises(ValueError):
+            CosineWarmupSchedule(Adam([Parameter(np.ones(1))], lr=0.1), total_steps=0)
+
+
+class TestGradientClipper:
+    def test_clips_large_gradients(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 10.0)
+        clipper = GradientClipper(max_norm=1.0)
+        norm = clipper.clip([parameter])
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_alone(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad = np.full(4, 0.1)
+        GradientClipper(max_norm=5.0).clip([parameter])
+        assert np.allclose(parameter.grad, 0.1)
+
+    def test_rejects_non_positive_norm(self):
+        with pytest.raises(ValueError):
+            GradientClipper(0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        assert stopper.update(0.5)
+        assert not stopper.update(0.4)
+        assert not stopper.update(0.45)
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.update(0.5)
+        stopper.update(0.4)
+        assert stopper.update(0.6)
+        assert not stopper.should_stop
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=1, mode="min")
+        stopper.update(1.0)
+        assert stopper.update(0.5)
+        assert not stopper.update(0.7)
+        assert stopper.should_stop
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")

@@ -1,0 +1,107 @@
+"""Property-based tests for the autograd substrate.
+
+Verify algebraic identities of the Tensor operations and that analytic
+gradients match finite differences on randomly drawn inputs and shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, check_gradients, softmax
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def random_array(draw, max_rows=6, max_cols=6):
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=1, max_value=max_cols))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    return np.random.default_rng(seed).normal(size=(rows, cols))
+
+
+class TestAlgebraicIdentities:
+    @SETTINGS
+    @given(random_array())
+    def test_addition_commutes(self, values):
+        a = Tensor(values)
+        b = Tensor(values[::-1].copy())
+        assert np.allclose((a + b).numpy(), (b + a).numpy())
+
+    @SETTINGS
+    @given(random_array())
+    def test_double_negation(self, values):
+        a = Tensor(values)
+        assert np.allclose((-(-a)).numpy(), values)
+
+    @SETTINGS
+    @given(random_array())
+    def test_exp_log_inverse_on_positive_values(self, values):
+        a = Tensor(np.abs(values) + 0.1)
+        assert np.allclose(a.log().exp().numpy(), a.numpy(), rtol=1e-9)
+
+    @SETTINGS
+    @given(random_array())
+    def test_sum_equals_numpy(self, values):
+        assert np.isclose(Tensor(values).sum().item(), values.sum())
+
+    @SETTINGS
+    @given(random_array())
+    def test_transpose_involution(self, values):
+        a = Tensor(values)
+        assert np.allclose(a.T.T.numpy(), values)
+
+    @SETTINGS
+    @given(random_array())
+    def test_softmax_rows_are_distributions(self, values):
+        probs = softmax(Tensor(values), axis=-1).numpy()
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    @SETTINGS
+    @given(random_array())
+    def test_relu_is_idempotent(self, values):
+        a = Tensor(values)
+        assert np.allclose(a.relu().relu().numpy(), a.relu().numpy())
+
+
+class TestGradientProperties:
+    @SETTINGS
+    @given(random_array())
+    def test_sum_gradient_is_ones(self, values):
+        a = Tensor(values, requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, np.ones_like(values))
+
+    @SETTINGS
+    @given(random_array())
+    def test_linear_combination_gradcheck(self, values):
+        a = Tensor(values, requires_grad=True)
+        b = Tensor(values * 0.5 + 0.1, requires_grad=True)
+
+        def fn(inputs):
+            x, y = inputs
+            return (x * y + x - y * 2.0).sum()
+
+        assert check_gradients(fn, [a, b])
+
+    @SETTINGS
+    @given(random_array())
+    def test_mean_and_sum_gradients_are_proportional(self, values):
+        a = Tensor(values, requires_grad=True)
+        a.mean().backward()
+        mean_grad = a.grad.copy()
+        a.zero_grad()
+        a.sum().backward()
+        sum_grad = a.grad
+        assert np.allclose(mean_grad * values.size, sum_grad)
+
+    @SETTINGS
+    @given(random_array(), random_array())
+    def test_broadcast_gradients_have_input_shapes(self, left, right):
+        a = Tensor(left, requires_grad=True)
+        b = Tensor(right[:1, :left.shape[1]] if right.shape[1] >= left.shape[1]
+                   else np.ones((1, left.shape[1])), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape

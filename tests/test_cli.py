@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "DESAlign"
+        assert args.dataset == "FBDB15K"
+        assert not args.iterative
+
+    def test_train_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "NotAModel"])
+
+    def test_experiment_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "FBDB15K" in output
+        assert "DBP15K_FR_EN" in output
+        assert "60 splits" in output
+
+    def test_train_command_prints_metrics(self, capsys):
+        exit_code = main(["train", "--model", "EVA", "--dataset", "FBYG15K",
+                          "--entities", "40", "--epochs", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "model=EVA" in output
+        assert "H@1=" in output
+
+    def test_experiment_command_writes_json(self, capsys, tmp_path):
+        output_path = tmp_path / "fig4.json"
+        exit_code = main(["experiment", "fig4", "--entities", "40", "--epochs", "2",
+                          "--output", str(output_path)])
+        assert exit_code == 0
+        assert "fig4" in capsys.readouterr().out
+        payload = json.loads(output_path.read_text())
+        assert payload["experiment"] == "fig4"
+        assert payload["rows"]
