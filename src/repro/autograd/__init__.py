@@ -11,12 +11,16 @@ from .functional import (
     cross_entropy_with_logits,
     mse_loss,
 )
+from .sparse import spmm, segment_sum, segment_softmax
 from .gradcheck import numerical_gradient, check_gradients
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "spmm",
+    "segment_sum",
+    "segment_softmax",
     "softmax",
     "log_softmax",
     "layer_norm",

@@ -33,11 +33,14 @@ class BaselineConfig:
 
     def __init__(self, hidden_dim: int = 32, temperature: float = 0.1,
                  gnn: str = "gcn", gnn_layers: int = 2, gnn_heads: int = 2,
-                 modalities: tuple[str, ...] = MODALITY_ORDER, seed: int = 0):
+                 modalities: tuple[str, ...] = MODALITY_ORDER, seed: int = 0,
+                 backend: str | None = None):
         if hidden_dim <= 0:
             raise ValueError("hidden_dim must be positive")
         if gnn not in {"gcn", "gat", "none"}:
             raise ValueError("gnn must be one of 'gcn', 'gat', 'none'")
+        if backend not in {None, "dense", "sparse"}:
+            raise ValueError("backend must be None (follow the task), 'dense' or 'sparse'")
         unknown = set(modalities) - set(MODALITY_ORDER)
         if unknown:
             raise ValueError(f"unknown modalities: {sorted(unknown)}")
@@ -48,6 +51,10 @@ class BaselineConfig:
         self.gnn_heads = gnn_heads
         self.modalities = tuple(modalities)
         self.seed = seed
+        #: ``None`` keeps whatever backend the prepared task uses; setting it
+        #: converts the task on model construction (GCN/GAT dispatch on the
+        #: matrix type, so both backends share the code path below).
+        self.backend = backend
 
 
 class ModalBaselineModel(Module):
@@ -57,8 +64,10 @@ class ModalBaselineModel(Module):
 
     def __init__(self, task: PreparedTask, config: BaselineConfig | None = None):
         super().__init__()
-        self.task = task
         self.config = config or BaselineConfig()
+        if self.config.backend is not None:
+            task = task.with_backend(self.config.backend)
+        self.task = task
         rng = np.random.default_rng(self.config.seed)
         hidden = self.config.hidden_dim
 

@@ -28,7 +28,8 @@ class GCNAlign(ModalBaselineModel):
             config = BaselineConfig(hidden_dim=config.hidden_dim,
                                     temperature=config.temperature,
                                     gnn="gcn", gnn_layers=config.gnn_layers,
-                                    modalities=("graph",), seed=config.seed)
+                                    modalities=("graph",), seed=config.seed,
+                                    backend=config.backend)
         super().__init__(task, config)
 
     def joint_embedding(self, side: str) -> Tensor:

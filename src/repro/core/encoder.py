@@ -108,7 +108,7 @@ class MultiModalEncoder(Module):
         return self._parameters[self._structure_keys[side]]
 
     def forward(self, side: str, features: dict[str, np.ndarray],
-                adjacency: np.ndarray) -> EncoderOutput:
+                adjacency) -> EncoderOutput:
         """Encode one graph.
 
         Parameters
@@ -118,7 +118,9 @@ class MultiModalEncoder(Module):
         features:
             Raw modal feature matrices for this graph.
         adjacency:
-            Dense adjacency matrix of this graph.
+            Adjacency matrix of this graph — dense ``np.ndarray`` or CSR;
+            the structural GAT dispatches to masked-dense or edge-list
+            attention accordingly.
         """
         modal: dict[str, Tensor] = {}
         for modality in self.modalities:

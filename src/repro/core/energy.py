@@ -37,9 +37,13 @@ class EnergySnapshot:
 
 @dataclass
 class EnergyMonitor:
-    """Records Dirichlet-energy trajectories of encoder outputs."""
+    """Records Dirichlet-energy trajectories of encoder outputs.
 
-    laplacian: np.ndarray
+    ``laplacian`` may be a dense array or a CSR matrix; the energies are
+    computed through the backend-dispatching :func:`dirichlet_energy`.
+    """
+
+    laplacian: "np.ndarray | object"
     history: list[EnergySnapshot] = field(default_factory=list)
 
     def record(self, step: int, output: EncoderOutput) -> EnergySnapshot:

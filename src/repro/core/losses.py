@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..autograd import Tensor, l2_normalize
+from ..autograd import Tensor, l2_normalize, spmm
 from .config import DESAlignConfig
 from .encoder import EncoderOutput
 
@@ -82,14 +82,17 @@ def bidirectional_contrastive_loss(source_embeddings: Tensor,
     return per_pair.mean()
 
 
-def dirichlet_energy_tensor(embeddings: Tensor, laplacian: np.ndarray) -> Tensor:
-    """Differentiable Dirichlet energy ``tr(Xᵀ Δ X)`` of a batch of embeddings."""
-    laplacian_tensor = Tensor(np.asarray(laplacian, dtype=np.float64))
-    return (embeddings * (laplacian_tensor @ embeddings)).sum()
+def dirichlet_energy_tensor(embeddings: Tensor, laplacian) -> Tensor:
+    """Differentiable Dirichlet energy ``tr(Xᵀ Δ X)`` of a batch of embeddings.
+
+    Routed through the :func:`spmm` primitive, so the Laplacian may be a
+    dense array or a CSR matrix (``O(|E| d)``) interchangeably.
+    """
+    return (embeddings * spmm(laplacian, embeddings)).sum()
 
 
 def energy_bound_penalty(current: Tensor, previous: Tensor, initial: Tensor,
-                         laplacian: np.ndarray, floor: float, ceiling: float) -> Tensor:
+                         laplacian, floor: float, ceiling: float) -> Tensor:
     """Hinge penalty enforcing ``c_min E(X^{k-1}) <= E(X^k) <= c_max E(X^0)``.
 
     This is the explicit-regulariser form of the Prop. 3 constraint; the
@@ -153,7 +156,7 @@ class MultiModalSemanticLoss:
 
     def __call__(self, source_output: EncoderOutput, target_output: EncoderOutput,
                  source_index: np.ndarray, target_index: np.ndarray,
-                 source_laplacian: np.ndarray | None = None) -> LossBreakdown:
+                 source_laplacian=None) -> LossBreakdown:
         config = self.config
         temperature = config.temperature
         terms: list[Tensor] = []

@@ -80,6 +80,50 @@ class SyntheticWorld:
     attribute_affinity: np.ndarray      # (num_communities, max_attributes) sampling logits
 
 
+#: Above this entity count the skeleton sampler switches from enumerating
+#: all O(n²) node pairs to drawing the expected number of edges directly.
+_PAIRWISE_SAMPLING_CUTOFF = 1000
+
+
+def _sample_block_edges(communities: np.ndarray, probability_intra: float,
+                        probability_inter: float,
+                        rng: np.random.Generator) -> set[tuple[int, int]]:
+    """Draw stochastic-block-model edges in ``O(|E|)`` memory.
+
+    Instead of flipping a coin for every one of the ``n(n-1)/2`` node pairs,
+    draw the *number* of intra-/inter-community edges binomially and then
+    sample that many pairs uniformly within their class.  For sparse graphs
+    (``p ~ degree/n``) duplicate draws are vanishingly rare and are simply
+    deduplicated, matching the pairwise sampler's edge statistics.
+    """
+    num_entities = len(communities)
+    sizes = np.bincount(communities)
+    intra_pairs_per_community = sizes * (sizes - 1) // 2
+    total_intra = int(intra_pairs_per_community.sum())
+    total_pairs = num_entities * (num_entities - 1) // 2
+    total_inter = total_pairs - total_intra
+    members = [np.flatnonzero(communities == c) for c in range(len(sizes))]
+
+    edges: set[tuple[int, int]] = set()
+    num_intra = rng.binomial(total_intra, probability_intra) if total_intra else 0
+    if num_intra:
+        weights = intra_pairs_per_community / max(total_intra, 1)
+        chosen = rng.choice(len(sizes), size=num_intra, p=weights)
+        for community in chosen:
+            group = members[community]
+            head, tail = rng.choice(len(group), size=2, replace=False)
+            edges.add(tuple(sorted((int(group[head]), int(group[tail])))))
+    num_inter = rng.binomial(total_inter, probability_inter) if total_inter else 0
+    drawn = 0
+    while drawn < num_inter:
+        head, tail = rng.integers(0, num_entities, size=2)
+        if head == tail or communities[head] == communities[tail]:
+            continue
+        edges.add(tuple(sorted((int(head), int(tail)))))
+        drawn += 1
+    return edges
+
+
 def generate_world(config: SyntheticPairConfig, rng: np.random.Generator) -> SyntheticWorld:
     """Sample the shared latent world underlying both graphs."""
     communities = rng.integers(0, config.num_communities, size=config.num_entities)
@@ -92,24 +136,35 @@ def generate_world(config: SyntheticPairConfig, rng: np.random.Generator) -> Syn
                             / (config.num_entities * (1.0 + config.intra_community_bias)))
     probability_inter = min(1.0, config.avg_degree
                             / (config.num_entities * (1.0 + config.intra_community_bias)))
-    graph = nx.Graph()
-    graph.add_nodes_from(range(config.num_entities))
-    upper = np.triu_indices(config.num_entities, k=1)
-    same = communities[upper[0]] == communities[upper[1]]
-    probabilities = np.where(same, probability_intra, probability_inter)
-    sampled = rng.random(len(probabilities)) < probabilities
-    for head, tail in zip(upper[0][sampled], upper[1][sampled]):
-        graph.add_edge(int(head), int(tail))
-    order = rng.permutation(config.num_entities)
-    for left, right in zip(order[:-1], order[1:]):
-        graph.add_edge(int(left), int(right))
+    if config.num_entities > _PAIRWISE_SAMPLING_CUTOFF:
+        # Large graphs: draw edges directly (O(|E|)); the pairwise route
+        # below would materialise several O(n²) index/probability arrays.
+        edges = _sample_block_edges(communities, probability_intra,
+                                    probability_inter, rng)
+        order = rng.permutation(config.num_entities)
+        for left, right in zip(order[:-1], order[1:]):
+            edges.add(tuple(sorted((int(left), int(right)))))
+        base_edges = sorted(edges)
+    else:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(config.num_entities))
+        upper = np.triu_indices(config.num_entities, k=1)
+        same = communities[upper[0]] == communities[upper[1]]
+        probabilities = np.where(same, probability_intra, probability_inter)
+        sampled = rng.random(len(probabilities)) < probabilities
+        for head, tail in zip(upper[0][sampled], upper[1][sampled]):
+            graph.add_edge(int(head), int(tail))
+        order = rng.permutation(config.num_entities)
+        for left, right in zip(order[:-1], order[1:]):
+            graph.add_edge(int(left), int(right))
+        base_edges = [tuple(sorted(edge)) for edge in graph.edges()]
 
     max_attributes = max(config.num_attributes_source, config.num_attributes_target)
     attribute_affinity = rng.normal(0.0, 1.0, size=(config.num_communities, max_attributes))
     return SyntheticWorld(
         latent=latent,
         communities=communities,
-        base_edges=[tuple(sorted(edge)) for edge in graph.edges()],
+        base_edges=base_edges,
         attribute_affinity=attribute_affinity,
     )
 

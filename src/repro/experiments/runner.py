@@ -32,7 +32,13 @@ BASIC_MODELS = ("TransE", "GCN-align", "PoE", "EVA", "MCLEA", "MEAformer", "DESA
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """Knobs controlling how expensive an experiment run is."""
+    """Knobs controlling how expensive an experiment run is.
+
+    ``backend`` selects the graph backend the tasks and models run on:
+    ``"dense"`` reproduces the original ``n x n`` formulation, ``"sparse"``
+    runs CSR message passing / propagation and is required for grids beyond
+    a few hundred entities.
+    """
 
     num_entities: int = 100
     epochs: int = 60
@@ -41,6 +47,7 @@ class ExperimentScale:
     hidden_dim: int = 32
     eval_every: int = 0
     seed: int = 0
+    backend: str = "dense"
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)
@@ -67,7 +74,8 @@ def build_task(dataset: str, scale: ExperimentScale,
         num_entities=scale.num_entities,
         seed=None,
     )
-    return prepare_task(pair, structure_dim=scale.hidden_dim, seed=scale.seed)
+    return prepare_task(pair, structure_dim=scale.hidden_dim, seed=scale.seed,
+                        backend=scale.backend)
 
 
 def train_model(model_name: str, task: PreparedTask, scale: ExperimentScale,
@@ -77,7 +85,8 @@ def train_model(model_name: str, task: PreparedTask, scale: ExperimentScale,
     model_kwargs = dict(model_kwargs or {})
     if model_name == "DESAlign" and "config" not in model_kwargs:
         model_kwargs["config"] = DESAlignConfig(hidden_dim=scale.hidden_dim,
-                                                seed=scale.seed)
+                                                seed=scale.seed,
+                                                backend=scale.backend)
     elif model_name == "TransE":
         model_kwargs.setdefault("hidden_dim", scale.hidden_dim)
         model_kwargs.setdefault("seed", scale.seed)

@@ -12,6 +12,15 @@ from .laplacian import (
     partition_laplacian,
     largest_laplacian_eigenvalue,
 )
+from .sparse import (
+    adjacency_from_triples,
+    degrees_from_triples,
+    normalized_adjacency_sparse,
+    graph_laplacian_sparse,
+    dirichlet_energy_edges,
+    edge_index,
+    largest_eigenvalue,
+)
 from .io import save_pair_json, load_pair_json, save_pair_dbp_format, load_pair_dbp_format
 
 __all__ = [
@@ -29,6 +38,13 @@ __all__ = [
     "layer_energy_bounds",
     "partition_laplacian",
     "largest_laplacian_eigenvalue",
+    "adjacency_from_triples",
+    "degrees_from_triples",
+    "normalized_adjacency_sparse",
+    "graph_laplacian_sparse",
+    "dirichlet_energy_edges",
+    "edge_index",
+    "largest_eigenvalue",
     "save_pair_json",
     "load_pair_json",
     "save_pair_dbp_format",

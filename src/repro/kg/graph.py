@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = ["RelationTriple", "AttributeTriple", "MultiModalKG", "MODALITIES"]
 
@@ -69,6 +70,8 @@ class MultiModalKG:
     attribute_triples: list[AttributeTriple] = field(default_factory=list)
     image_features: dict[int, np.ndarray] = field(default_factory=dict)
     name: str = "MMKG"
+    _degree_cache: tuple[int, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         num = self.num_entities
@@ -137,13 +140,21 @@ class MultiModalKG:
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
-    def adjacency_matrix(self, weighted: bool = False) -> np.ndarray:
-        """Dense symmetric adjacency matrix induced by the relation triples.
+    def adjacency_matrix(self, weighted: bool = False,
+                         sparse: bool = False) -> np.ndarray | sp.csr_matrix:
+        """Symmetric adjacency matrix induced by the relation triples.
 
         When ``weighted`` the entry counts parallel edges, otherwise it is
         binary.  The graph is treated as undirected, as assumed throughout
-        the paper's Dirichlet-energy analysis.
+        the paper's Dirichlet-energy analysis.  With ``sparse`` a CSR matrix
+        is returned and no ``n x n`` dense array is ever materialised, which
+        is the required form for graphs beyond a few hundred entities.
         """
+        from .sparse import adjacency_from_triples
+
+        if sparse:
+            return adjacency_from_triples(self.num_entities, self.relation_triples,
+                                          weighted=weighted)
         adjacency = np.zeros((self.num_entities, self.num_entities))
         for triple in self.relation_triples:
             if triple.head == triple.tail:
@@ -166,8 +177,25 @@ class MultiModalKG:
         return result
 
     def degree(self) -> np.ndarray:
-        """Node degrees under the binary undirected adjacency."""
-        return self.adjacency_matrix().sum(axis=1)
+        """Node degrees under the binary undirected adjacency.
+
+        Computed directly from the relation triples in ``O(|E| log |E|)``
+        (no adjacency matrix of any kind) and cached; the triple list is
+        treated as immutable after construction.  As a safety net the cache
+        is invalidated when the triple count changes (catching appends to
+        the public list), though in-place edits of existing triples are not
+        detectable.
+        """
+        from .sparse import degrees_from_triples
+
+        if self._degree_cache is None or self._degree_cache[0] != len(self.relation_triples):
+            self._degree_cache = (len(self.relation_triples),
+                                  degrees_from_triples(self.num_entities,
+                                                       self.relation_triples))
+        return self._degree_cache[1].copy()
+
+    #: Plural alias of :meth:`degree`.
+    degrees = degree
 
     # ------------------------------------------------------------------
     # Semantic-inconsistency manipulation

@@ -25,6 +25,12 @@ __all__ = [
 
 
 def _as_dense(adjacency) -> np.ndarray:
+    """Densify small inputs for the dense reference implementations.
+
+    The sparse-first pipeline never calls this on large graphs: sparse
+    inputs to the energy/eigenvalue helpers below are routed through
+    :mod:`repro.kg.sparse` instead of being densified.
+    """
     if sp.issparse(adjacency):
         return np.asarray(adjacency.todense(), dtype=np.float64)
     return np.asarray(adjacency, dtype=np.float64)
@@ -37,13 +43,16 @@ def normalized_adjacency(adjacency, add_self_loops: bool = True) -> np.ndarray:
     the paper's Definition 3 and keeps isolated entities well defined — such
     entities are common in the high-missing-modality splits.
     """
+    from .sparse import _inverse_sqrt_degrees
+
     dense = _as_dense(adjacency)
     if dense.shape[0] != dense.shape[1]:
         raise ValueError("adjacency must be square")
     if add_self_loops:
         dense = dense + np.eye(dense.shape[0])
-    degrees = dense.sum(axis=1)
-    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    # Shared with the sparse backend so the degree guard stays bit-identical
+    # across the two implementations (the parity tests assert atol=1e-15).
+    inv_sqrt = _inverse_sqrt_degrees(dense.sum(axis=1))
     return dense * inv_sqrt[:, None] * inv_sqrt[None, :]
 
 
@@ -53,32 +62,43 @@ def graph_laplacian(adjacency, add_self_loops: bool = True) -> np.ndarray:
     return np.eye(normalised.shape[0]) - normalised
 
 
-def dirichlet_energy(features: np.ndarray, laplacian: np.ndarray) -> float:
-    """Dirichlet energy ``tr(Xᵀ Δ X)`` of Definition 3 (trace form)."""
+def dirichlet_energy(features: np.ndarray, laplacian) -> float:
+    """Dirichlet energy ``tr(Xᵀ Δ X)`` of Definition 3 (trace form).
+
+    Accepts a dense or CSR Laplacian; the sparse path evaluates the
+    equivalent ``Σ_ij x_ij (Δ x)_ij`` in ``O(|E| d)`` without densifying.
+    """
     features = np.asarray(features, dtype=np.float64)
     if features.ndim == 1:
         features = features[:, None]
+    if sp.issparse(laplacian):
+        return float(np.sum(features * np.asarray(laplacian @ features)))
     return float(np.trace(features.T @ laplacian @ features))
 
 
-def dirichlet_energy_pairwise(features: np.ndarray, adjacency: np.ndarray,
+def dirichlet_energy_pairwise(features: np.ndarray, adjacency,
                               add_self_loops: bool = True) -> float:
     """Dirichlet energy in the pairwise form of Definition 3.
 
     ``1/2 Σ_ij a_ij || x_i / sqrt(d_i) - x_j / sqrt(d_j) ||²`` with degrees
     taken after the optional self-loop shift; equals the trace form for the
-    same Laplacian (verified by property-based tests).
+    same Laplacian (verified by property-based tests).  A sparse adjacency
+    is summed edge-wise in ``O(|E| d)`` instead of building the full
+    ``n x n`` pairwise-distance matrix.
     """
     features = np.asarray(features, dtype=np.float64)
     if features.ndim == 1:
         features = features[:, None]
+    if sp.issparse(adjacency):
+        from .sparse import dirichlet_energy_edges
+        return dirichlet_energy_edges(features, adjacency, add_self_loops=add_self_loops)
     dense = _as_dense(adjacency)
     if add_self_loops:
         dense_with_loops = dense + np.eye(dense.shape[0])
     else:
         dense_with_loops = dense
-    degrees = dense_with_loops.sum(axis=1)
-    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    from .sparse import _inverse_sqrt_degrees
+    inv_sqrt = _inverse_sqrt_degrees(dense_with_loops.sum(axis=1))
     scaled = features * inv_sqrt[:, None]
     # ||s_i - s_j||^2 = ||s_i||^2 + ||s_j||^2 - 2 s_i.s_j, summed with weights a_ij.
     squared_norms = np.sum(scaled ** 2, axis=1)
@@ -87,10 +107,16 @@ def dirichlet_energy_pairwise(features: np.ndarray, adjacency: np.ndarray,
     return float(0.5 * np.sum(dense_with_loops * pairwise))
 
 
-def largest_laplacian_eigenvalue(laplacian: np.ndarray) -> float:
-    """Largest eigenvalue of the (symmetric) Laplacian; lies in ``[0, 2)``."""
-    eigenvalues = np.linalg.eigvalsh(laplacian)
-    return float(eigenvalues[-1])
+def largest_laplacian_eigenvalue(laplacian) -> float:
+    """Largest eigenvalue of the (symmetric) Laplacian; lies in ``[0, 2)``.
+
+    Tiny graphs use exact dense ``eigvalsh``; anything larger uses Lanczos
+    ``eigsh(k=1)`` (with a power-iteration fallback), which avoids the
+    ``O(n³)`` full eigendecomposition and works on sparse Laplacians.
+    """
+    from .sparse import largest_eigenvalue
+
+    return largest_eigenvalue(laplacian)
 
 
 def energy_gap_bounds(original: np.ndarray, modified: np.ndarray,
@@ -145,7 +171,11 @@ def partition_laplacian(laplacian: np.ndarray,
         raise ValueError("partition must be disjoint and cover every node")
     blocks: dict[str, np.ndarray] = {}
     index = {"c": consistent, "o1": count_inconsistent, "o2": missing}
+    sparse_laplacian = laplacian.tocsr() if sp.issparse(laplacian) else None
     for row_key, rows in index.items():
         for col_key, cols in index.items():
-            blocks[f"{row_key}{col_key}"] = laplacian[np.ix_(rows, cols)]
+            if sparse_laplacian is not None:
+                blocks[f"{row_key}{col_key}"] = sparse_laplacian[rows][:, cols]
+            else:
+                blocks[f"{row_key}{col_key}"] = laplacian[np.ix_(rows, cols)]
     return blocks

@@ -1,15 +1,17 @@
 """Graph Convolutional Network layers (Kipf & Welling, 2017).
 
-Used by the structure channels of several baselines (GCN-Align, EVA): a
-dense formulation ``H' = σ(Ã H W)`` over the symmetrically-normalised
-adjacency with self-loops.
+Used by the structure channels of several baselines (GCN-Align, EVA):
+``H' = σ(Ã H W)`` over the symmetrically-normalised adjacency with
+self-loops.  The propagation step goes through the :func:`spmm` autograd
+primitive, so ``Ã`` may be a dense array or a CSR matrix — the sparse form
+runs in ``O(|E| d)`` and is what the ``backend="sparse"`` pipeline feeds in.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, spmm
 from . import init
 from .module import Module, ModuleList, Parameter
 
@@ -17,7 +19,7 @@ __all__ = ["GCNLayer", "GCN"]
 
 
 class GCNLayer(Module):
-    """Single dense graph convolution ``Ã X W + b``."""
+    """Single graph convolution ``Ã X W + b`` (dense or sparse ``Ã``)."""
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
                  bias: bool = True):
@@ -25,8 +27,8 @@ class GCNLayer(Module):
         self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
-    def forward(self, features: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
-        propagated = Tensor(np.asarray(normalized_adjacency, dtype=np.float64)) @ features
+    def forward(self, features: Tensor, normalized_adjacency) -> Tensor:
+        propagated = spmm(normalized_adjacency, features)
         out = propagated @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -42,7 +44,7 @@ class GCN(Module):
             GCNLayer(features, features, rng) for _ in range(num_layers)
         ])
 
-    def forward(self, features: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
+    def forward(self, features: Tensor, normalized_adjacency) -> Tensor:
         hidden = features
         for index, layer in enumerate(self.layers):
             hidden = layer(hidden, normalized_adjacency)

@@ -1,0 +1,110 @@
+"""Gradient checks for the sparse autograd primitives (spmm, segment ops)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    segment_softmax,
+    segment_sum,
+    spmm,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def sparse_matrix():
+    matrix = sp.random(7, 5, density=0.5, random_state=1, format="csr")
+    matrix.data = np.round(matrix.data * 4 - 2, 3)  # mixed signs
+    return matrix
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self, sparse_matrix, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        out = spmm(sparse_matrix, x)
+        assert np.allclose(out.numpy(), sparse_matrix.toarray() @ x.numpy())
+
+    def test_accepts_dense_matrix(self, rng):
+        matrix = rng.normal(size=(4, 6))
+        x = Tensor(rng.normal(size=(6, 2)))
+        assert np.allclose(spmm(matrix, x).numpy(), matrix @ x.numpy())
+
+    def test_gradcheck(self, sparse_matrix, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        weights = rng.normal(size=(7, 3))
+        check_gradients(lambda inputs: (spmm(sparse_matrix, inputs[0])
+                                        * Tensor(weights)).sum(), [x])
+
+    def test_gradient_matches_dense_path(self, sparse_matrix, rng):
+        data = rng.normal(size=(5, 3))
+        x_sparse = Tensor(data, requires_grad=True)
+        x_dense = Tensor(data, requires_grad=True)
+        (spmm(sparse_matrix, x_sparse) ** 2.0).sum().backward()
+        (spmm(sparse_matrix.toarray(), x_dense) ** 2.0).sum().backward()
+        assert np.allclose(x_sparse.grad, x_dense.grad, atol=1e-12)
+
+    def test_no_grad_tape_for_constant_input(self, sparse_matrix, rng):
+        out = spmm(sparse_matrix, Tensor(rng.normal(size=(5, 2))))
+        assert not out.requires_grad
+
+
+class TestSegmentSum:
+    def test_forward(self, rng):
+        values = Tensor(rng.normal(size=(6, 2)))
+        ids = np.array([0, 0, 2, 2, 2, 3])
+        out = segment_sum(values, ids, 5)
+        assert out.shape == (5, 2)
+        assert np.allclose(out.numpy()[0], values.numpy()[:2].sum(axis=0))
+        assert np.allclose(out.numpy()[1], 0.0)
+        assert np.allclose(out.numpy()[2], values.numpy()[2:5].sum(axis=0))
+        assert np.allclose(out.numpy()[4], 0.0)
+
+    def test_gradcheck(self, rng):
+        values = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+        ids = np.array([0, 1, 1, 3, 3, 3])
+        weights = rng.normal(size=(4, 2))
+        check_gradients(lambda inputs: (segment_sum(inputs[0], ids, 4)
+                                        * Tensor(weights)).sum(), [values])
+
+    def test_rejects_mismatched_ids(self, rng):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(rng.normal(size=(4, 2))), np.array([0, 1]), 3)
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self, rng):
+        scores = Tensor(rng.normal(size=(8, 1)))
+        ids = np.array([0, 0, 0, 1, 1, 3, 3, 3])
+        alpha = segment_softmax(scores, ids, 4).numpy().ravel()
+        for segment in (0, 1, 3):
+            assert alpha[ids == segment].sum() == pytest.approx(1.0)
+
+    def test_matches_per_segment_softmax(self, rng):
+        raw = rng.normal(size=8)
+        ids = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        alpha = segment_softmax(Tensor(raw[:, None]), ids, 3).numpy().ravel()
+        for segment in range(3):
+            mask = ids == segment
+            exp = np.exp(raw[mask] - raw[mask].max())
+            assert np.allclose(alpha[mask], exp / exp.sum())
+
+    def test_stable_under_large_scores(self):
+        scores = Tensor(np.array([1000.0, 1001.0, -1000.0])[:, None])
+        alpha = segment_softmax(scores, np.array([0, 0, 1]), 2).numpy().ravel()
+        assert np.all(np.isfinite(alpha))
+        assert alpha[:2].sum() == pytest.approx(1.0)
+        assert alpha[2] == pytest.approx(1.0)
+
+    def test_gradcheck(self, rng):
+        scores = Tensor(rng.normal(size=(8, 1)), requires_grad=True)
+        ids = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        weights = rng.normal(size=(8, 1))
+        check_gradients(lambda inputs: (segment_softmax(inputs[0], ids, 3)
+                                        * Tensor(weights)).sum(), [scores])
