@@ -19,8 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..core.alignment import cosine_similarity
 from ..core.config import MODALITY_ORDER
+from ..core.similarity import decode_similarity
 from ..core.losses import bidirectional_contrastive_loss
 from ..core.task import PreparedTask
 from ..nn import GAT, GCN, Linear, Module, ModuleDict, Parameter, init
@@ -134,9 +134,16 @@ class ModalBaselineModel(Module):
     def loss(self, source_index: np.ndarray, target_index: np.ndarray):
         raise NotImplementedError
 
-    def similarity(self, use_propagation: bool = False) -> np.ndarray:
-        """Cosine similarity between joint embeddings (no propagation decoder)."""
+    def similarity(self, use_propagation: bool = False, decode: str = "auto",
+                   k: int = 10, block_size: int | None = None):
+        """Cosine similarity between joint embeddings (no propagation decoder).
+
+        Routes through the shared decoding engine: ``decode="dense"``
+        returns the full matrix, ``"blockwise"`` a streaming top-k decode,
+        ``"auto"`` switches on the task size.
+        """
         with no_grad():
             source = self.joint_embedding("source").numpy()
             target = self.joint_embedding("target").numpy()
-        return cosine_similarity(source, target)
+        return decode_similarity(source, target, decode=decode, k=k,
+                                 block_size=block_size)

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor, l2_normalize, no_grad
-from ..core.alignment import cosine_similarity
+from ..autograd import Tensor, l2_normalize
 from ..core.task import PreparedTask
 from ..nn import CrossModalAttentionBlock
 from .base import BaselineConfig, ModalBaselineModel
@@ -76,9 +75,3 @@ class MEAformer(ModalBaselineModel):
                 source_index, target_index, pair_weights=weights)
             total = total + modal_loss + attended_loss
         return total
-
-    def similarity(self, use_propagation: bool = False) -> np.ndarray:
-        with no_grad():
-            source = self.joint_embedding("source").numpy()
-            target = self.joint_embedding("target").numpy()
-        return cosine_similarity(source, target)

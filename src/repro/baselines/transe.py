@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..core.alignment import cosine_similarity
+from ..core.similarity import decode_similarity
 from ..core.task import PreparedTask
 from ..nn import Module, Parameter, init
 
@@ -80,7 +80,10 @@ class TransE(Module):
         alignment = (aligned_source - aligned_target).norm(axis=1).mean()
         return structure + alignment * self.alignment_weight
 
-    def similarity(self, use_propagation: bool = False) -> np.ndarray:
+    def similarity(self, use_propagation: bool = False, decode: str = "auto",
+                   k: int = 10, block_size: int | None = None):
         with no_grad():
-            return cosine_similarity(self.source_entities.numpy(),
-                                     self.target_entities.numpy())
+            source = self.source_entities.numpy()
+            target = self.target_entities.numpy()
+        return decode_similarity(source, target, decode=decode, k=k,
+                                 block_size=block_size)

@@ -11,6 +11,7 @@ from .losses import (
     MultiModalSemanticLoss,
 )
 from .propagation import SemanticPropagation, PropagationResult, closed_form_interpolation
+from .similarity import TopKSimilarity, blockwise_topk, decode_similarity, resolve_decode
 from .alignment import cosine_similarity, csls_similarity, mutual_nearest_pairs, greedy_one_to_one
 from .energy import EnergyMonitor, EnergySnapshot, verify_layer_bounds
 from .model import DESAlign
@@ -32,6 +33,10 @@ __all__ = [
     "SemanticPropagation",
     "PropagationResult",
     "closed_form_interpolation",
+    "TopKSimilarity",
+    "blockwise_topk",
+    "decode_similarity",
+    "resolve_decode",
     "cosine_similarity",
     "csls_similarity",
     "mutual_nearest_pairs",

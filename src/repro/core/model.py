@@ -16,6 +16,7 @@ from .config import DESAlignConfig
 from .encoder import EncoderOutput, MultiModalEncoder
 from .losses import LossBreakdown, MultiModalSemanticLoss
 from .propagation import PropagationResult, SemanticPropagation
+from .similarity import TopKSimilarity, blockwise_topk, resolve_decode
 from .task import PreparedTask
 
 __all__ = ["DESAlign"]
@@ -119,7 +120,47 @@ class DESAlign(Module):
             source_known=source_known, target_known=target_known,
         )
 
-    def similarity(self, use_propagation: bool = True) -> np.ndarray:
-        """Full source×target similarity matrix used for evaluation."""
-        return self.decode(use_propagation=use_propagation).final_similarity(
-            average=self.config.propagation_average)
+    def decode_topk(self, use_propagation: bool = True, k: int = 10,
+                    block_size: int | None = None, dtype=np.float64,
+                    columns: np.ndarray | None = None) -> TopKSimilarity:
+        """Streaming blockwise decode: exact top-``k`` neighbours per entity.
+
+        Runs the same Semantic Propagation rounds as :meth:`decode` but
+        streams the round-averaged similarity in source-row blocks, so peak
+        memory is ``O(block · n_t)`` instead of the ``O(n_s · n_t)`` the
+        dense decoder needs per round.
+        """
+        source_embeddings, target_embeddings = self._evaluation_embeddings()
+        if use_propagation and self.config.propagation_iters > 0:
+            source_known, target_known = self.propagation_masks()
+            source_states = self.propagation.propagate_features(
+                source_embeddings, self.task.source.adjacency, source_known)
+            target_states = self.propagation.propagate_features(
+                target_embeddings, self.task.target.adjacency, target_known)
+            if not self.config.propagation_average:
+                source_states = [source_states[-1]]
+                target_states = [target_states[-1]]
+        else:
+            source_states = [source_embeddings]
+            target_states = [target_embeddings]
+        return blockwise_topk(source_states, target_states, k=k,
+                              block_size=block_size, dtype=dtype, columns=columns)
+
+    def similarity(self, use_propagation: bool = True, decode: str = "auto",
+                   k: int = 10, block_size: int | None = None,
+                   dtype=np.float64):
+        """Decoding similarity ``Ω`` used for evaluation.
+
+        ``decode="dense"`` returns the full source×target matrix (the
+        original formulation); ``decode="blockwise"`` returns a streaming
+        :class:`TopKSimilarity` that every evaluation / CSLS / mutual-NN
+        consumer accepts; ``"auto"`` (default) stays dense below
+        :data:`~repro.core.similarity.DENSE_DECODE_CELL_LIMIT` cells and
+        switches to blockwise above it.
+        """
+        shape = (self.task.source.num_entities, self.task.target.num_entities)
+        if resolve_decode(decode, shape) == "dense":
+            return self.decode(use_propagation=use_propagation).final_similarity(
+                average=self.config.propagation_average)
+        return self.decode_topk(use_propagation=use_propagation, k=k,
+                                block_size=block_size, dtype=dtype)

@@ -134,7 +134,14 @@ class Trainer:
     # Iterative (bootstrapping) strategy
     # ------------------------------------------------------------------
     def _augment_with_pseudo_pairs(self, seeds: np.ndarray) -> np.ndarray:
-        """Promote mutual nearest-neighbour test candidates to pseudo-seeds."""
+        """Promote mutual nearest-neighbour test candidates to pseudo-seeds.
+
+        ``_model_similarity`` may return a dense matrix or a streaming
+        :class:`~repro.core.similarity.TopKSimilarity`; the mutual-NN
+        selection accepts both, so iterative training on large tasks runs
+        from the running row/column argmax reductions instead of an
+        ``n_s x n_t`` matrix.
+        """
         similarity = self._model_similarity()
         seed_sources = set(int(s) for s in seeds[:, 0])
         seed_targets = set(int(t) for t in seeds[:, 1])
@@ -149,7 +156,7 @@ class Trainer:
         pseudo = np.asarray(candidates, dtype=np.int64)
         return np.concatenate([seeds, pseudo], axis=0)
 
-    def _model_similarity(self) -> np.ndarray:
+    def _model_similarity(self):
         try:
             return self.model.similarity(use_propagation=True)
         except TypeError:

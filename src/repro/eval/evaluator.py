@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 
@@ -15,23 +16,44 @@ __all__ = ["Evaluator", "TimingResult", "time_callable"]
 
 @dataclass
 class Evaluator:
-    """Evaluate similarity matrices against a prepared task's test split."""
+    """Evaluate similarities against a prepared task's test split.
+
+    Accepts both full similarity matrices and streaming
+    :class:`~repro.core.similarity.TopKSimilarity` decodes; ``decode``
+    is forwarded to models whose ``similarity()`` supports the
+    ``"dense" | "blockwise" | "auto"`` switch, so large tasks evaluate
+    without ever materialising the ``n_s x n_t`` matrix.
+    """
 
     task: PreparedTask
     restrict_candidates: bool = True
+    decode: str = "auto"
 
-    def evaluate_similarity(self, similarity: np.ndarray) -> AlignmentMetrics:
-        """Score a full source×target similarity matrix on the test pairs."""
+    def evaluate_similarity(self, similarity) -> AlignmentMetrics:
+        """Score a similarity matrix or top-k decode on the test pairs."""
         return evaluate_alignment(similarity, self.task.test_pairs,
                                   restrict_candidates=self.restrict_candidates)
 
     def evaluate_model(self, model, use_propagation: bool = True) -> AlignmentMetrics:
-        """Score any model exposing ``similarity(use_propagation=...)``."""
+        """Score any model exposing ``similarity()``.
+
+        The ``use_propagation`` / ``decode`` keywords are forwarded only
+        when the model's signature accepts them (inspected once, rather
+        than probing with retries that could swallow a genuine TypeError
+        raised inside the decode itself).
+        """
         try:
-            similarity = model.similarity(use_propagation=use_propagation)
-        except TypeError:
-            similarity = model.similarity()
-        return self.evaluate_similarity(similarity)
+            parameters = inspect.signature(model.similarity).parameters
+            accepts_kwargs = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                                 for p in parameters.values())
+        except (TypeError, ValueError):  # builtins / C callables
+            parameters, accepts_kwargs = {}, False
+        kwargs = {}
+        if accepts_kwargs or "use_propagation" in parameters:
+            kwargs["use_propagation"] = use_propagation
+        if accepts_kwargs or "decode" in parameters:
+            kwargs["decode"] = self.decode
+        return self.evaluate_similarity(model.similarity(**kwargs))
 
 
 @dataclass

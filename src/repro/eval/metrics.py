@@ -1,10 +1,17 @@
 """Evaluation metrics for entity alignment: Hits@k and MRR (Eq. 23-24).
 
-Given a pairwise similarity matrix between source and target entities and a
-set of gold test pairs, each source query entity is ranked against the
-candidate target entities (by convention the targets of the test pairs, as
-in the paper's evaluation protocol) and the rank of its gold counterpart
-feeds H@k and MRR.
+Given pairwise similarities between source and target entities and a set of
+gold test pairs, each source query entity is ranked against the candidate
+target entities (by convention the targets of the test pairs, as in the
+paper's evaluation protocol) and the rank of its gold counterpart feeds H@k
+and MRR.
+
+Similarities may arrive either as a full ``(num_source, num_target)``
+matrix or as a streaming :class:`~repro.core.similarity.TopKSimilarity`
+decode, in which case ranks come from the stored top-k neighbours — exact
+whenever the gold target sits strictly inside the stored top-k, with an
+``O(n_t)`` single-row fallback re-materialisation when it does not (gold
+missing, or tied with the top-k boundary score).
 """
 
 from __future__ import annotations
@@ -13,18 +20,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.similarity import TopKSimilarity
+
 __all__ = ["ranks_from_similarity", "hits_at_k", "mean_reciprocal_rank", "AlignmentMetrics",
            "evaluate_alignment"]
 
 
-def ranks_from_similarity(similarity: np.ndarray, test_pairs: np.ndarray,
+def ranks_from_similarity(similarity, test_pairs: np.ndarray,
                           restrict_candidates: bool = True) -> np.ndarray:
     """Rank of the gold target for every test source entity (1-based).
 
     Parameters
     ----------
     similarity:
-        Full ``(num_source, num_target)`` similarity matrix.
+        Full ``(num_source, num_target)`` similarity matrix, or a
+        :class:`TopKSimilarity` streaming decode.
     test_pairs:
         ``(num_test, 2)`` array of gold ``[source, target]`` pairs.
     restrict_candidates:
@@ -32,26 +42,81 @@ def ranks_from_similarity(similarity: np.ndarray, test_pairs: np.ndarray,
         the target entities appearing in the test set; otherwise every
         target entity is a candidate.
     """
-    similarity = np.asarray(similarity, dtype=np.float64)
     test_pairs = np.asarray(test_pairs, dtype=np.int64)
     if test_pairs.ndim != 2 or test_pairs.shape[1] != 2:
         raise ValueError("test_pairs must have shape (num_test, 2)")
+    if isinstance(similarity, TopKSimilarity):
+        return _ranks_from_topk(similarity, test_pairs, restrict_candidates)
+    similarity = np.asarray(similarity, dtype=np.float64)
     if restrict_candidates:
         candidates = np.unique(test_pairs[:, 1])
     else:
         candidates = np.arange(similarity.shape[1])
-    candidate_position = {int(t): i for i, t in enumerate(candidates)}
-    scores = similarity[:, candidates]
-    ranks = np.zeros(len(test_pairs), dtype=np.int64)
-    for row, (source_id, target_id) in enumerate(test_pairs):
-        gold_column = candidate_position[int(target_id)]
-        row_scores = scores[source_id]
+    # One batched comparison over the (num_test, num_candidates) score
+    # matrix; candidate positions ascend with target id (np.unique sorts),
+    # so searchsorted recovers each gold's column.
+    scores = similarity[np.ix_(test_pairs[:, 0], candidates)]
+    gold_columns = np.searchsorted(candidates, test_pairs[:, 1])
+    gold_scores = scores[np.arange(len(test_pairs)), gold_columns]
+    # Rank = 1 + number of strictly better candidates; ties are counted
+    # optimistically-deterministically by breaking on index order.
+    better = np.sum(scores > gold_scores[:, None], axis=1)
+    positions = np.arange(len(candidates))
+    ties_before = np.sum((scores == gold_scores[:, None])
+                         & (positions[None, :] < gold_columns[:, None]), axis=1)
+    return (1 + better + ties_before).astype(np.int64)
+
+
+def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
+                     restrict_candidates: bool = True) -> np.ndarray:
+    """Gold ranks from a streaming top-k decode (exact; see module docstring)."""
+    num_target = topk.shape[1]
+    if restrict_candidates:
+        candidates = np.unique(test_pairs[:, 1])
+    else:
+        candidates = np.arange(num_target)
+    if topk.columns is not None and not np.all(np.isin(candidates, topk.columns)):
+        raise ValueError(
+            "the top-k decode was restricted to a candidate set that does not "
+            "cover the requested candidates; decode with columns=None or with "
+            "all test targets included")
+    is_candidate = np.zeros(num_target, dtype=bool)
+    is_candidate[candidates] = True
+
+    rows = test_pairs[:, 0]
+    golds = test_pairs[:, 1]
+    kept_ids = topk.indices[rows]                       # (num_test, k)
+    kept_scores = topk.scores[rows]                     # (num_test, k)
+    kept_candidate = is_candidate[kept_ids]
+
+    gold_hit = kept_ids == golds[:, None]
+    found = gold_hit.any(axis=1)
+    gold_scores = np.where(
+        found,
+        np.take_along_axis(kept_scores, gold_hit.argmax(axis=1)[:, None], axis=1)[:, 0],
+        -np.inf)
+    # Exact whenever the gold sits strictly inside the stored top-k: every
+    # strictly-better candidate and every tie then also sits inside it.
+    boundary = kept_scores[:, -1]
+    exact = found & (topk.is_exhaustive() | (gold_scores > boundary))
+
+    better = np.sum(kept_candidate & (kept_scores > gold_scores[:, None]), axis=1)
+    ties_before = np.sum(kept_candidate & (kept_scores == gold_scores[:, None])
+                         & (kept_ids < golds[:, None]), axis=1)
+    ranks = (1 + better + ties_before).astype(np.int64)
+
+    # O(n_t) per-row fallback: gold outside the stored top-k or tied with
+    # its boundary — re-materialise just those similarity rows.
+    if topk.columns is None:
+        candidate_positions = candidates
+    else:
+        candidate_positions = np.searchsorted(topk.columns, candidates)
+    for row in np.flatnonzero(~exact):
+        row_scores = topk.row_scores(int(rows[row]))[candidate_positions]
+        gold_column = int(np.searchsorted(candidates, golds[row]))
         gold_score = row_scores[gold_column]
-        # Rank = 1 + number of strictly better candidates; ties are counted
-        # optimistically-deterministically by breaking on index order.
-        better = np.sum(row_scores > gold_score)
-        ties_before = np.sum((row_scores == gold_score)[:gold_column])
-        ranks[row] = 1 + better + ties_before
+        ranks[row] = (1 + np.sum(row_scores > gold_score)
+                      + np.sum(row_scores[:gold_column] == gold_score))
     return ranks
 
 
@@ -92,9 +157,12 @@ class AlignmentMetrics:
                 f"MRR={self.mrr * 100:.1f}")
 
 
-def evaluate_alignment(similarity: np.ndarray, test_pairs: np.ndarray,
+def evaluate_alignment(similarity, test_pairs: np.ndarray,
                        restrict_candidates: bool = True) -> AlignmentMetrics:
-    """Compute H@1 / H@10 / MRR of a similarity matrix on gold test pairs."""
+    """Compute H@1 / H@10 / MRR on gold test pairs.
+
+    ``similarity`` is a full matrix or a :class:`TopKSimilarity` decode.
+    """
     test_pairs = np.asarray(test_pairs, dtype=np.int64)
     if len(test_pairs) == 0:
         return AlignmentMetrics(0.0, 0.0, 0.0, 0)

@@ -1,0 +1,224 @@
+"""Property-based equivalence of blockwise top-k decoding vs the dense path.
+
+Two input regimes are exercised:
+
+* **Exact-tie regime** — the target side is an identity matrix, so the
+  similarity equals the normalised source matrix *bitwise* in both the
+  dense and the streamed computation (multiplying by ``I`` introduces no
+  rounding).  Quantised sources then produce plenty of *exact* score ties,
+  and every reduction — ranks with their strictly-better + ties-before-gold
+  semantics, CSLS values on kept pairs, mutual-NN pair sets — must match
+  the dense path exactly, across random shapes, block sizes and ``k``
+  values (including ``k > n_t``).
+
+* **Continuous regime** — random Gaussian embeddings, where the block-GEMM
+  and the full-GEMM may differ in the last ulp; score values must agree to
+  1e-12 and every reduction must agree exactly whenever the similarity
+  values are separated by more than that noise floor.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import (
+    cosine_similarity,
+    csls_similarity,
+    greedy_one_to_one,
+    mutual_nearest_pairs,
+)
+from repro.core.similarity import blockwise_topk
+from repro.eval.metrics import evaluate_alignment, ranks_from_similarity
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def exact_tie_case(draw, max_source=24, max_target=16):
+    """Quantised source + identity target: bitwise-equal similarities."""
+    num_source = draw(st.integers(min_value=2, max_value=max_source))
+    num_target = draw(st.integers(min_value=2, max_value=max_target))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    source = np.round(rng.normal(size=(num_source, num_target)) * 2) / 2
+    target = np.eye(num_target)
+    k = draw(st.integers(min_value=1, max_value=max_target + 8))
+    block_size = draw(st.integers(min_value=1, max_value=max_source + 4))
+    csls_k = draw(st.integers(min_value=1, max_value=12))
+    num_test = draw(st.integers(min_value=1, max_value=min(num_source, num_target)))
+    sources = rng.choice(num_source, size=num_test, replace=False)
+    targets = rng.choice(num_target, size=num_test, replace=False)
+    test_pairs = np.stack([sources, targets], axis=1)
+    return source, target, k, block_size, csls_k, test_pairs
+
+
+class TestExactTieEquivalence:
+    @SETTINGS
+    @given(exact_tie_case())
+    def test_metrics_and_ranks_match_dense_exactly(self, case):
+        source, target, k, block_size, csls_k, test_pairs = case
+        dense = cosine_similarity(source, target)
+        topk = blockwise_topk(source, target, k=k, block_size=block_size,
+                              csls_k=csls_k)
+        for restrict in (True, False):
+            assert np.array_equal(
+                ranks_from_similarity(topk, test_pairs, restrict),
+                ranks_from_similarity(dense, test_pairs, restrict))
+        assert evaluate_alignment(topk, test_pairs) == \
+            evaluate_alignment(dense, test_pairs)
+
+    @SETTINGS
+    @given(exact_tie_case())
+    def test_csls_kept_values_match_dense_exactly(self, case):
+        source, target, k, block_size, csls_k, _ = case
+        dense_csls = csls_similarity(cosine_similarity(source, target), k=csls_k)
+        topk = blockwise_topk(source, target, k=k, block_size=block_size,
+                              csls_k=csls_k)
+        rows = np.arange(topk.shape[0])[:, None]
+        assert np.array_equal(topk.csls_scores(), dense_csls[rows, topk.indices])
+
+    @SETTINGS
+    @given(exact_tie_case(), st.sampled_from([-0.5, 0.0, 0.3]))
+    def test_mutual_pair_sets_match_dense_exactly(self, case, threshold):
+        source, target, k, block_size, csls_k, test_pairs = case
+        dense = cosine_similarity(source, target)
+        topk = blockwise_topk(source, target, k=k, block_size=block_size,
+                              csls_k=csls_k)
+        assert topk.mutual_nearest_pairs(threshold) == \
+            mutual_nearest_pairs(dense, threshold)
+        exclude_source = {int(test_pairs[0, 0])}
+        exclude_target = {int(test_pairs[0, 1])}
+        assert topk.mutual_nearest_pairs(threshold, exclude_source, exclude_target) \
+            == mutual_nearest_pairs(dense, threshold, exclude_source, exclude_target)
+
+    @SETTINGS
+    @given(exact_tie_case())
+    def test_restricted_decode_matches_restricted_evaluation(self, case):
+        source, target, k, block_size, _, test_pairs = case
+        dense = cosine_similarity(source, target)
+        candidates = np.unique(test_pairs[:, 1])
+        topk = blockwise_topk(source, target, k=k, block_size=block_size,
+                              columns=candidates)
+        assert np.array_equal(ranks_from_similarity(topk, test_pairs, True),
+                              ranks_from_similarity(dense, test_pairs, True))
+
+
+@st.composite
+def continuous_case(draw, max_entities=20, max_dim=6):
+    num_source = draw(st.integers(min_value=2, max_value=max_entities))
+    num_target = draw(st.integers(min_value=2, max_value=max_entities))
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    source = rng.normal(size=(num_source, dim))
+    target = rng.normal(size=(num_target, dim))
+    k = draw(st.integers(min_value=1, max_value=max_entities + 5))
+    block_size = draw(st.integers(min_value=1, max_value=max_entities))
+    return source, target, k, block_size
+
+
+def _well_separated(dense: np.ndarray, noise_floor: float = 1e-9) -> bool:
+    """True when no two similarity values sit within the GEMM noise floor."""
+    values = np.sort(dense.ravel())
+    gaps = np.diff(values)
+    return bool(len(gaps) == 0 or gaps.min() > noise_floor)
+
+
+class TestContinuousEquivalence:
+    @SETTINGS
+    @given(continuous_case())
+    def test_scores_match_dense_within_tolerance(self, case):
+        source, target, k, block_size = case
+        dense = cosine_similarity(source, target)
+        topk = blockwise_topk(source, target, k=k, block_size=block_size)
+        for row in range(dense.shape[0]):
+            expected = np.sort(dense[row])[::-1][:topk.k]
+            assert np.allclose(topk.scores[row], expected, atol=1e-12)
+        assert np.allclose(topk.col_max, dense.max(axis=0), atol=1e-12)
+        assert np.allclose(topk.dense(), dense, atol=1e-12)
+
+    @SETTINGS
+    @given(continuous_case())
+    def test_reductions_match_dense_when_separated(self, case):
+        source, target, k, block_size = case
+        dense = cosine_similarity(source, target)
+        if not _well_separated(dense):  # pragma: no cover - measure-zero event
+            return
+        topk = blockwise_topk(source, target, k=k, block_size=block_size)
+        rng = np.random.default_rng(0)
+        num_test = min(dense.shape)
+        pairs = np.stack([rng.choice(dense.shape[0], num_test, replace=False),
+                          rng.choice(dense.shape[1], num_test, replace=False)],
+                         axis=1)
+        assert np.array_equal(ranks_from_similarity(topk, pairs),
+                              ranks_from_similarity(dense, pairs))
+        assert topk.mutual_nearest_pairs() == mutual_nearest_pairs(dense)
+
+
+def _ranks_reference_loop(similarity, test_pairs, restrict_candidates=True):
+    """The historical per-test-pair Python loop, kept as a semantics oracle."""
+    similarity = np.asarray(similarity, dtype=np.float64)
+    test_pairs = np.asarray(test_pairs, dtype=np.int64)
+    if restrict_candidates:
+        candidates = np.unique(test_pairs[:, 1])
+    else:
+        candidates = np.arange(similarity.shape[1])
+    candidate_position = {int(t): i for i, t in enumerate(candidates)}
+    scores = similarity[:, candidates]
+    ranks = np.zeros(len(test_pairs), dtype=np.int64)
+    for row, (source_id, target_id) in enumerate(test_pairs):
+        gold_column = candidate_position[int(target_id)]
+        row_scores = scores[source_id]
+        gold_score = row_scores[gold_column]
+        better = np.sum(row_scores > gold_score)
+        ties_before = np.sum((row_scores == gold_score)[:gold_column])
+        ranks[row] = 1 + better + ties_before
+    return ranks
+
+
+@st.composite
+def similarity_and_pairs(draw, max_entities=14):
+    num_source = draw(st.integers(min_value=2, max_value=max_entities))
+    num_target = draw(st.integers(min_value=2, max_value=max_entities))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    quantise = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    similarity = rng.normal(size=(num_source, num_target))
+    if quantise:
+        similarity = np.round(similarity)
+    num_test = draw(st.integers(min_value=1, max_value=min(num_source, num_target)))
+    sources = rng.choice(num_source, size=num_test, replace=False)
+    targets = rng.choice(num_target, size=num_test, replace=False)
+    return similarity, np.stack([sources, targets], axis=1)
+
+
+class TestVectorisedHelpers:
+    @SETTINGS
+    @given(similarity_and_pairs(), st.booleans())
+    def test_vectorised_ranks_match_loop_reference(self, case, restrict):
+        similarity, test_pairs = case
+        assert np.array_equal(
+            ranks_from_similarity(similarity, test_pairs, restrict),
+            _ranks_reference_loop(similarity, test_pairs, restrict))
+
+    @SETTINGS
+    @given(similarity_and_pairs(), st.integers(min_value=1, max_value=20))
+    def test_partitioned_csls_bit_identical_to_full_sort(self, case, k):
+        similarity, _ = case
+        k_row = min(k, similarity.shape[1])
+        k_col = min(k, similarity.shape[0])
+        row_mean = np.sort(similarity, axis=1)[:, -k_row:].mean(axis=1, keepdims=True)
+        col_mean = np.sort(similarity, axis=0)[-k_col:, :].mean(axis=0, keepdims=True)
+        expected = 2.0 * similarity - row_mean - col_mean
+        assert np.array_equal(csls_similarity(similarity, k=k), expected)
+
+    @SETTINGS
+    @given(similarity_and_pairs())
+    def test_greedy_partial_selection_is_valid_and_tie_deterministic(self, case):
+        similarity, _ = case
+        matches = greedy_one_to_one(similarity)
+        sources = [s for s, _ in matches]
+        targets = [t for _, t in matches]
+        assert len(matches) == min(similarity.shape)
+        assert len(set(sources)) == len(matches)
+        assert len(set(targets)) == len(matches)
+        assert matches == greedy_one_to_one(similarity)  # deterministic
