@@ -15,7 +15,15 @@ from .similarity import TopKSimilarity, blockwise_topk, decode_similarity, resol
 from .alignment import cosine_similarity, csls_similarity, mutual_nearest_pairs, greedy_one_to_one
 from .energy import EnergyMonitor, EnergySnapshot, verify_layer_bounds
 from .model import DESAlign
-from .trainer import Trainer, TrainingResult, TrainingHistory
+from .trainer import (
+    Trainer,
+    TrainingResult,
+    TrainingHistory,
+    TrainingLoop,
+    FullGraphLoop,
+    NeighbourSampledLoop,
+    build_training_loop,
+)
 
 __all__ = [
     "DESAlignConfig",
@@ -48,4 +56,8 @@ __all__ = [
     "Trainer",
     "TrainingResult",
     "TrainingHistory",
+    "TrainingLoop",
+    "FullGraphLoop",
+    "NeighbourSampledLoop",
+    "build_training_loop",
 ]

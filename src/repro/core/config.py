@@ -4,10 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["DESAlignConfig", "TrainingConfig"]
+__all__ = ["DESAlignConfig", "TrainingConfig", "DEFAULT_ENCODE_BATCH"]
 
 #: Order in which modalities are stacked inside the cross-modal attention.
 MODALITY_ORDER = ("graph", "relation", "attribute", "vision")
+
+#: Default seed-batch size of the sampled (batched) inference path, shared
+#: by ``DESAlign.encode_entities_sampled`` and ``TrainingConfig``.
+DEFAULT_ENCODE_BATCH = 2048
 
 
 @dataclass(frozen=True)
@@ -108,7 +112,29 @@ class DESAlignConfig:
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Optimisation hyper-parameters shared by DESAlign and the baselines."""
+    """Optimisation hyper-parameters shared by DESAlign and the baselines.
+
+    Attributes
+    ----------
+    sampling:
+        Training strategy: ``"full"`` encodes both whole graphs on every
+        optimiser step (the original formulation); ``"neighbour"`` runs
+        GraphSAGE-style layer-wise neighbour-sampled mini-batches through
+        the subgraph-aware encoder path, so a step's cost scales with the
+        batch's receptive field instead of the graph size.  The model must
+        expose ``subgraph_loss`` / ``neighbour_sampler`` (DESAlign does).
+    fanouts:
+        Per-encoder-layer neighbour fanouts for ``sampling="neighbour"``;
+        ``None`` (or any ``None`` / ``-1`` entry) keeps the full
+        neighbourhood of that layer, which reproduces full-graph training
+        numerically.
+    eval_batch_size:
+        Seed-batch size of the sampled inference path used by the
+        neighbour strategy's evaluations.
+    early_stopping_patience / eval_every:
+        Early stopping consumes the periodic evaluations, so enabling it
+        requires an evaluation cadence (``eval_every > 0``).
+    """
 
     epochs: int = 120
     learning_rate: float = 5e-3
@@ -122,8 +148,24 @@ class TrainingConfig:
     iterative_rounds: int = 2
     iterative_epochs: int = 40
     iterative_threshold: float = 0.0
+    sampling: str = "full"
+    fanouts: tuple[int | None, ...] | None = None
+    eval_batch_size: int = DEFAULT_ENCODE_BATCH
     log_energy: bool = False
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sampling not in {"full", "neighbour"}:
+            raise ValueError("sampling must be 'full' or 'neighbour'")
+        if self.early_stopping_patience > 0 and self.eval_every <= 0:
+            raise ValueError(
+                "early stopping consumes periodic evaluations; set eval_every > 0")
+        if self.fanouts is not None:
+            for fanout in self.fanouts:
+                if fanout is not None and fanout != -1 and fanout <= 0:
+                    raise ValueError("fanout entries must be positive, -1 or None")
+        if self.eval_batch_size <= 0:
+            raise ValueError("eval_batch_size must be positive")
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":
         """Return a copy with selected fields replaced."""

@@ -36,13 +36,19 @@ __all__ = ["EncoderOutput", "MultiModalEncoder"]
 
 @dataclass
 class EncoderOutput:
-    """All embeddings produced by one encoder pass over one graph."""
+    """All embeddings produced by one encoder pass over one graph.
+
+    ``node_ids`` is ``None`` for a full-graph pass (row ``i`` is entity
+    ``i``); for a subgraph pass it holds the global entity id of every row,
+    so outputs can be scattered back into global embedding arrays.
+    """
 
     modal: dict[str, Tensor]          # h_m, shape (N, d) per modality
     attended: dict[str, Tensor]       # ĥ_m after the CAW block
     confidences: Tensor               # (N, num_modalities), Eq. 13
     original: Tensor                  # h_Ori, early fusion (N, M*d)
     fused: Tensor                     # h_Fus, late fusion (N, M*d)
+    node_ids: np.ndarray | None = None  # global entity id per row (subgraph pass)
 
     @property
     def modalities(self) -> list[str]:
@@ -108,8 +114,8 @@ class MultiModalEncoder(Module):
         return self._parameters[self._structure_keys[side]]
 
     def forward(self, side: str, features: dict[str, np.ndarray],
-                adjacency) -> EncoderOutput:
-        """Encode one graph.
+                adjacency, subgraph=None) -> EncoderOutput:
+        """Encode one graph, fully or restricted to a sampled subgraph.
 
         Parameters
         ----------
@@ -120,15 +126,39 @@ class MultiModalEncoder(Module):
         adjacency:
             Adjacency matrix of this graph — dense ``np.ndarray`` or CSR;
             the structural GAT dispatches to masked-dense or edge-list
-            attention accordingly.
+            attention accordingly.  Ignored when ``subgraph`` is given.
+        subgraph:
+            Optional :class:`~repro.kg.sampling.SubgraphView` (sampled over
+            this graph's attention pattern).  The structural GAT then runs
+            on the renumbered local blocks — only ``subgraph.input_nodes``
+            rows of the embedding table enter the computation — and every
+            output covers exactly the ``subgraph.seed_nodes`` rows, with
+            the ids recorded in ``EncoderOutput.node_ids``.
         """
-        modal: dict[str, Tensor] = {}
+        if subgraph is not None:
+            node_ids = subgraph.seed_nodes
+            modal: dict[str, Tensor] = {}
+            for modality in self.modalities:
+                if modality == "graph":
+                    table = self.structural_embedding(side).index_select(
+                        subgraph.input_nodes)
+                    modal["graph"] = self.gat(table, subgraph)
+                else:
+                    modal[modality] = self.projections[modality](
+                        Tensor(features[modality][node_ids]))
+            return self._fuse(modal, node_ids=node_ids)
+
+        modal = {}
         for modality in self.modalities:
             if modality == "graph":
                 modal["graph"] = self.gat(self.structural_embedding(side), adjacency)
             else:
                 modal[modality] = self.projections[modality](Tensor(features[modality]))
+        return self._fuse(modal)
 
+    def _fuse(self, modal: dict[str, Tensor],
+              node_ids: np.ndarray | None = None) -> EncoderOutput:
+        """CAW attention + confidence-weighted fusion (rows are independent)."""
         stacked = Tensor.stack([modal[m] for m in self.modalities], axis=1)
         attended_stack, confidences = self.cross_modal(stacked)
         attended = {m: attended_stack[:, i, :] for i, m in enumerate(self.modalities)}
@@ -150,4 +180,5 @@ class MultiModalEncoder(Module):
             confidences=confidences,
             original=original,
             fused=fused,
+            node_ids=node_ids,
         )

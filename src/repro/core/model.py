@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import no_grad
+from ..kg.sampling import NeighbourSampler, SubgraphView, attention_pattern
 from ..nn import Module
-from .config import DESAlignConfig
+from .config import DEFAULT_ENCODE_BATCH, DESAlignConfig
 from .encoder import EncoderOutput, MultiModalEncoder
 from .losses import LossBreakdown, MultiModalSemanticLoss
 from .propagation import PropagationResult, SemanticPropagation
@@ -54,6 +55,10 @@ class DESAlign(Module):
             rng=rng,
         )
         self.objective = MultiModalSemanticLoss(self.config)
+        # Full-neighbourhood samplers for batched inference, built lazily
+        # once per side: the graph is immutable, so the O(|E|) pattern
+        # construction must not repeat on every evaluation.
+        self._eval_samplers: dict[str, NeighbourSampler] = {}
         self.propagation = SemanticPropagation(
             iterations=self.config.propagation_iters,
             reset_known=self.config.propagation_reset_known,
@@ -73,6 +78,61 @@ class DESAlign(Module):
         return self.encode("source"), self.encode("target")
 
     # ------------------------------------------------------------------
+    # Neighbour-sampled encoding
+    # ------------------------------------------------------------------
+    def neighbour_sampler(self, side: str, fanouts=None, seed: int = 0) -> NeighbourSampler:
+        """Layer-wise neighbour sampler over one side's attention pattern.
+
+        The pattern (self-looped binary adjacency) matches the edge set the
+        structural GAT attends over, so a full-neighbourhood sample
+        (``fanouts=None`` or all-``None`` entries) reproduces the full-graph
+        forward exactly on the sampled seed rows.
+        """
+        prepared = self.task.source if side == "source" else self.task.target
+        if fanouts is None:
+            fanouts = (None,) * self.config.gat_layers
+        if len(fanouts) != self.config.gat_layers:
+            raise ValueError(f"need one fanout per GAT layer "
+                             f"({self.config.gat_layers}), got {len(fanouts)}")
+        # GAT attention ignores edge weights, so estimator rescaling is moot.
+        return NeighbourSampler(attention_pattern(prepared.adjacency), fanouts,
+                                seed=seed, rescale=False)
+
+    def encode_subgraph(self, side: str, view: SubgraphView) -> EncoderOutput:
+        """Encode only the sampled subgraph of one side (seed rows out)."""
+        prepared = self.task.source if side == "source" else self.task.target
+        return self.encoder(side, prepared.features.features, prepared.adjacency,
+                            subgraph=view)
+
+    def encode_entities_sampled(self, side: str, kind: str | None = None,
+                                batch_size: int = DEFAULT_ENCODE_BATCH) -> np.ndarray:
+        """Joint embeddings of *all* entities via batched subgraph forwards.
+
+        Walks the entity set in seed batches, encodes each batch's
+        full-neighbourhood subgraph and scatters the output rows back into
+        a global ``(N, D)`` array — so no single forward pass ever touches
+        the whole graph, which is what lets inference run under the same
+        memory envelope as neighbour-sampled training.
+        """
+        kind = kind or self.config.evaluation_embedding
+        prepared = self.task.source if side == "source" else self.task.target
+        sampler = self._eval_samplers.get(side)
+        if sampler is None:
+            sampler = self.neighbour_sampler(side)
+            self._eval_samplers[side] = sampler
+        num_entities = prepared.num_entities
+        embeddings: np.ndarray | None = None
+        with no_grad():
+            for start in range(0, num_entities, batch_size):
+                seeds = np.arange(start, min(start + batch_size, num_entities))
+                view = sampler.sample(seeds)
+                values = self.encode_subgraph(side, view).joint(kind).numpy()
+                if embeddings is None:
+                    embeddings = np.empty((num_entities, values.shape[1]))
+                view.scatter_rows(values, embeddings)
+        return embeddings
+
+    # ------------------------------------------------------------------
     # Training loss
     # ------------------------------------------------------------------
     def loss(self, source_index: np.ndarray | None = None,
@@ -86,10 +146,47 @@ class DESAlign(Module):
             source_laplacian=self.task.source.laplacian,
         )
 
+    def subgraph_loss(self, source_view: SubgraphView, target_view: SubgraphView,
+                      source_index: np.ndarray, target_index: np.ndarray,
+                      source_local: np.ndarray | None = None,
+                      target_local: np.ndarray | None = None) -> LossBreakdown:
+        """MMSL loss over seed pairs, encoded through sampled subgraphs.
+
+        ``source_index`` / ``target_index`` are *global* entity ids; they
+        must be part of the views' seed sets.  Callers that already hold
+        the local positions (e.g. a :class:`~repro.data.loader.SeedPairBatch`)
+        can pass them via ``source_local`` / ``target_local`` to skip the
+        lookup.  The Dirichlet-energy penalty needs the full Laplacian, so
+        it cannot be computed on a subgraph — configs with
+        ``energy_weight > 0`` are rejected rather than silently training a
+        different objective; with the default ``energy_weight=0`` this is
+        numerically identical to :meth:`loss` on full-neighbourhood views.
+        """
+        if self.config.energy_weight > 0:
+            raise ValueError(
+                "the Dirichlet-energy penalty (energy_weight > 0) requires "
+                "full-graph training; use sampling='full' or set energy_weight=0")
+        source_output = self.encode_subgraph("source", source_view)
+        target_output = self.encode_subgraph("target", target_view)
+        if source_local is None:
+            source_local = source_view.global_to_local(source_index)
+        if target_local is None:
+            target_local = target_view.global_to_local(target_index)
+        return self.objective(source_output, target_output,
+                              source_local, target_local, source_laplacian=None)
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
-    def _evaluation_embeddings(self) -> tuple[np.ndarray, np.ndarray]:
+    def _evaluation_embeddings(self, encode: str = "full",
+                               encode_batch_size: int | None = None
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        if encode not in {"full", "sampled"}:
+            raise ValueError("encode must be 'full' or 'sampled'")
+        if encode == "sampled":
+            batch = encode_batch_size or DEFAULT_ENCODE_BATCH
+            return (self.encode_entities_sampled("source", batch_size=batch),
+                    self.encode_entities_sampled("target", batch_size=batch))
         kind = self.config.evaluation_embedding
         with no_grad():
             source_output, target_output = self.encode_both()
@@ -109,9 +206,11 @@ class DESAlign(Module):
         target_mask[consistent_target] = True
         return source_mask, target_mask
 
-    def decode(self, use_propagation: bool = True) -> PropagationResult:
+    def decode(self, use_propagation: bool = True, encode: str = "full",
+               encode_batch_size: int | None = None) -> PropagationResult:
         """Produce the pairwise similarity matrix ``Ω`` (Algorithm 1, line 15)."""
-        source_embeddings, target_embeddings = self._evaluation_embeddings()
+        source_embeddings, target_embeddings = self._evaluation_embeddings(
+            encode=encode, encode_batch_size=encode_batch_size)
         source_known, target_known = self.propagation_masks()
         decoder = self.propagation if use_propagation else SemanticPropagation(iterations=0)
         return decoder(
@@ -122,15 +221,19 @@ class DESAlign(Module):
 
     def decode_topk(self, use_propagation: bool = True, k: int = 10,
                     block_size: int | None = None, dtype=np.float64,
-                    columns: np.ndarray | None = None) -> TopKSimilarity:
+                    columns: np.ndarray | None = None, encode: str = "full",
+                    encode_batch_size: int | None = None) -> TopKSimilarity:
         """Streaming blockwise decode: exact top-``k`` neighbours per entity.
 
         Runs the same Semantic Propagation rounds as :meth:`decode` but
         streams the round-averaged similarity in source-row blocks, so peak
         memory is ``O(block · n_t)`` instead of the ``O(n_s · n_t)`` the
-        dense decoder needs per round.
+        dense decoder needs per round.  ``encode="sampled"`` additionally
+        computes the evaluation embeddings through batched subgraph
+        forwards, so no stage touches the full graph at once.
         """
-        source_embeddings, target_embeddings = self._evaluation_embeddings()
+        source_embeddings, target_embeddings = self._evaluation_embeddings(
+            encode=encode, encode_batch_size=encode_batch_size)
         if use_propagation and self.config.propagation_iters > 0:
             source_known, target_known = self.propagation_masks()
             source_states = self.propagation.propagate_features(
@@ -148,7 +251,8 @@ class DESAlign(Module):
 
     def similarity(self, use_propagation: bool = True, decode: str = "auto",
                    k: int = 10, block_size: int | None = None,
-                   dtype=np.float64):
+                   dtype=np.float64, encode: str = "full",
+                   encode_batch_size: int | None = None):
         """Decoding similarity ``Ω`` used for evaluation.
 
         ``decode="dense"`` returns the full source×target matrix (the
@@ -156,11 +260,16 @@ class DESAlign(Module):
         :class:`TopKSimilarity` that every evaluation / CSLS / mutual-NN
         consumer accepts; ``"auto"`` (default) stays dense below
         :data:`~repro.core.similarity.DENSE_DECODE_CELL_LIMIT` cells and
-        switches to blockwise above it.
+        switches to blockwise above it.  ``encode="sampled"`` computes the
+        evaluation embeddings with batched subgraph forwards instead of one
+        full-graph pass (the neighbour-sampled training pipeline's decode).
         """
         shape = (self.task.source.num_entities, self.task.target.num_entities)
         if resolve_decode(decode, shape) == "dense":
-            return self.decode(use_propagation=use_propagation).final_similarity(
-                average=self.config.propagation_average)
+            return self.decode(
+                use_propagation=use_propagation, encode=encode,
+                encode_batch_size=encode_batch_size,
+            ).final_similarity(average=self.config.propagation_average)
         return self.decode_topk(use_propagation=use_propagation, k=k,
-                                block_size=block_size, dtype=dtype)
+                                block_size=block_size, dtype=dtype, encode=encode,
+                                encode_batch_size=encode_batch_size)

@@ -152,18 +152,39 @@ class TopKSimilarity:
         """Per-source best target id and score (``argmax`` row semantics)."""
         return self.indices[:, 0], self.scores[:, 0]
 
-    def csls_scores(self) -> np.ndarray:
+    def csls_scores(self, rows: np.ndarray | None = None) -> np.ndarray:
         """CSLS values of the kept (top-k) entries: ``2 s - r_T(i) - r_S(j)``.
 
-        Matches ``csls_similarity(dense)[i, indices[i, j]]`` entry for entry.
+        Matches ``csls_similarity(dense)[i, indices[i, j]]`` entry for entry
+        (identical arithmetic order, hence bit-identical given the streamed
+        means).  ``rows`` restricts the computation to a subset of source
+        rows — the CSLS-ranked evaluation path only needs the test rows.
         """
-        col_positions = self._column_positions(self.indices)
-        return (2.0 * self.scores
-                - self.row_knn_mean[:, None]
+        indices = self.indices if rows is None else self.indices[rows]
+        scores = self.scores if rows is None else self.scores[rows]
+        row_means = self.row_knn_mean if rows is None else self.row_knn_mean[rows]
+        col_positions = self.column_positions(indices)
+        return (2.0 * scores
+                - row_means[:, None]
                 - self.col_knn_mean[col_positions])
 
-    def _column_positions(self, target_ids: np.ndarray) -> np.ndarray:
-        """Map original target ids to positions within the decoded columns."""
+    def csls_row(self, source_id: int) -> np.ndarray:
+        """Exact full CSLS row over the decoded columns (``O(n_cols)``).
+
+        The CSLS counterpart of :meth:`row_scores`, used as the evaluation
+        fallback when a gold rank cannot be proven from the stored top-k.
+        """
+        return (2.0 * self.row_scores(source_id)
+                - self.row_knn_mean[source_id]
+                - self.col_knn_mean)
+
+    def column_positions(self, target_ids: np.ndarray) -> np.ndarray:
+        """Map original target ids to positions within the decoded columns.
+
+        The ids must be among the decoded columns (always true without a
+        candidate restriction); the column-wise arrays (``col_max``,
+        ``col_knn_mean``…) are indexed by these positions.
+        """
         if self.columns is None:
             return target_ids
         positions = np.searchsorted(self.columns, target_ids)
@@ -184,7 +205,7 @@ class TopKSimilarity:
         exclude_target = exclude_target or set()
         best_ids, best_scores = self.best_target()
         source_ids = np.arange(self.num_source)
-        col_positions = self._column_positions(best_ids)
+        col_positions = self.column_positions(best_ids)
         keep = self.col_argmax[col_positions] == source_ids
         keep &= best_scores >= threshold
         if exclude_source:

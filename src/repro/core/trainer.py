@@ -1,4 +1,4 @@
-"""Training loop for DESAlign and the baselines.
+"""Training loops for DESAlign and the baselines.
 
 Implements the optimisation recipe of Sec. V-A(4): AdamW, cosine warm-up
 over the first 15% of steps, gradient clipping, optional early stopping,
@@ -6,10 +6,26 @@ and the optional *iterative strategy* — a buffering mechanism that promotes
 cross-graph mutual nearest-neighbour pairs from the candidate (test) pool to
 pseudo-seed alignments between training rounds.
 
+The *how* of one optimisation phase is a pluggable :class:`TrainingLoop`
+strategy selected by ``TrainingConfig.sampling``:
+
+* :class:`FullGraphLoop` (``sampling="full"``) encodes both whole graphs on
+  every step — the original formulation, simplest and fastest at small
+  scale;
+* :class:`NeighbourSampledLoop` (``sampling="neighbour"``) draws
+  GraphSAGE-style layer-wise neighbour-sampled mini-batches through a
+  :class:`~repro.data.loader.SeedPairLoader` and the model's subgraph-aware
+  encoder path, evaluates through batched (scatter-back) inference and runs
+  the iterative pseudo-seed selection on the streaming blockwise decode —
+  no stage ever materialises a full-graph forward pass or an
+  ``n_s x n_t`` similarity matrix.
+
 Every aligner in this repository (DESAlign and the baselines) exposes the
 same minimal interface — ``loss(source_index, target_index)``,
 ``similarity()`` and ``parameters()`` — so a single :class:`Trainer` covers
-the whole model zoo and the experiment harness stays uniform.
+the whole model zoo and the experiment harness stays uniform; the
+neighbour strategy additionally requires ``subgraph_loss`` and
+``neighbour_sampler`` (DESAlign implements both).
 """
 
 from __future__ import annotations
@@ -20,7 +36,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..autograd import Tensor
-from ..eval.evaluator import Evaluator
+from ..data.loader import SeedPairLoader, epoch_order
+from ..eval.evaluator import Evaluator, filter_supported_kwargs
 from ..eval.metrics import AlignmentMetrics
 from ..nn import AdamW, CosineWarmupSchedule, EarlyStopping, GradientClipper
 from .alignment import mutual_nearest_pairs
@@ -28,7 +45,8 @@ from .config import TrainingConfig
 from .energy import EnergyMonitor
 from .task import PreparedTask
 
-__all__ = ["TrainingHistory", "TrainingResult", "Trainer"]
+__all__ = ["TrainingHistory", "TrainingResult", "TrainingLoop", "FullGraphLoop",
+           "NeighbourSampledLoop", "build_training_loop", "Trainer"]
 
 
 @dataclass
@@ -65,51 +83,85 @@ def _loss_total(value) -> Tensor:
     return value.total if hasattr(value, "total") else value
 
 
-class Trainer:
-    """Generic trainer for entity-alignment models on a prepared task."""
+class TrainingLoop:
+    """Strategy object: how batches form, how a loss is computed, how to evaluate.
 
-    def __init__(self, model, task: PreparedTask, config: TrainingConfig | None = None,
-                 energy_monitor: EnergyMonitor | None = None):
+    Subclasses implement :meth:`epoch_batches`, :meth:`batch_loss`,
+    :meth:`_evaluate` and :meth:`model_similarity`; the optimisation
+    skeleton (:meth:`train_phase`) — optimiser, schedule, clipping, the
+    periodic-evaluation cadence and early stopping — is shared.
+    """
+
+    name = "abstract"
+
+    def __init__(self, model, task: PreparedTask, config: TrainingConfig,
+                 rng: np.random.Generator):
         self.model = model
         self.task = task
-        self.config = config or TrainingConfig()
-        self.evaluator = Evaluator(task)
-        self.energy_monitor = energy_monitor
-        self._rng = np.random.default_rng(self.config.seed)
+        self.config = config
+        self._rng = rng
+        self.evaluator = self._build_evaluator()
+        #: Wall-clock seconds of the most recent :meth:`evaluate` call.
+        self.last_eval_seconds = 0.0
 
-    # ------------------------------------------------------------------
-    # Single training phase
-    # ------------------------------------------------------------------
-    def _iterate_batches(self, pairs: np.ndarray):
-        """Yield mini-batches of seed pairs (full batch when small enough)."""
-        batch_size = self.config.batch_size
-        if len(pairs) <= batch_size:
-            yield pairs
-            return
-        order = self._rng.permutation(len(pairs))
-        for start in range(0, len(pairs), batch_size):
-            yield pairs[order[start:start + batch_size]]
+    # -- strategy hooks -------------------------------------------------
+    def _build_evaluator(self) -> Evaluator:
+        raise NotImplementedError
 
-    def _train_phase(self, pairs: np.ndarray, epochs: int,
-                     history: TrainingHistory) -> None:
+    def epoch_batches(self, pairs: np.ndarray):
+        """Yield one epoch's batches (strategy-specific batch objects)."""
+        raise NotImplementedError
+
+    def batch_loss(self, batch) -> Tensor:
+        """Differentiable total loss of one batch."""
+        raise NotImplementedError
+
+    def model_similarity(self):
+        """Similarity artefact feeding the iterative mutual-NN selection."""
+        raise NotImplementedError
+
+    def record_energy(self, monitor: EnergyMonitor, epoch: int) -> None:
+        """Log a Dirichlet-energy snapshot (no-op where it would defeat sampling)."""
+
+    # -- shared skeleton ------------------------------------------------
+    def evaluate(self) -> AlignmentMetrics:
+        """Evaluate the model on the task's test split (timed)."""
+        start = time.perf_counter()
+        metrics = self._evaluate()
+        self.last_eval_seconds = time.perf_counter() - start
+        return metrics
+
+    def _evaluate(self) -> AlignmentMetrics:
+        return self.evaluator.evaluate_model(self.model)
+
+    def train_phase(self, pairs: np.ndarray, epochs: int,
+                    history: TrainingHistory,
+                    energy_monitor: EnergyMonitor | None = None) -> None:
+        """Run one optimisation phase over ``pairs`` for ``epochs`` epochs.
+
+        Periodic evaluation — and the early-stopping update it feeds — runs
+        strictly on the ``eval_every`` cadence; enabling early stopping
+        without a cadence is rejected at config construction.
+        """
+        config = self.config
         if epochs <= 0 or len(pairs) == 0:
             return
-        optimizer = AdamW(self.model.parameters(), lr=self.config.learning_rate,
-                          weight_decay=self.config.weight_decay)
-        batches_per_epoch = max(1, int(np.ceil(len(pairs) / self.config.batch_size)))
+        optimizer = AdamW(self.model.parameters(), lr=config.learning_rate,
+                          weight_decay=config.weight_decay)
+        batches_per_epoch = max(1, int(np.ceil(len(pairs) / config.batch_size)))
         schedule = CosineWarmupSchedule(optimizer, total_steps=epochs * batches_per_epoch,
-                                        warmup_fraction=self.config.warmup_fraction)
-        clipper = GradientClipper(self.config.grad_clip) if self.config.grad_clip else None
-        stopper = (EarlyStopping(patience=self.config.early_stopping_patience)
-                   if self.config.early_stopping_patience > 0 else None)
+                                        warmup_fraction=config.warmup_fraction)
+        clipper = GradientClipper(config.grad_clip) if config.grad_clip else None
+        stopper = (EarlyStopping(patience=config.early_stopping_patience)
+                   if config.early_stopping_patience > 0 else None)
 
         for epoch in range(epochs):
             epoch_loss = 0.0
             num_batches = 0
-            for batch in self._iterate_batches(pairs):
+            for batch in self.epoch_batches(pairs):
                 schedule.step()
                 optimizer.zero_grad()
-                loss = _loss_total(self.model.loss(batch[:, 0], batch[:, 1]))
+                loss = self.batch_loss(batch)
                 loss.backward()
                 if clipper is not None:
                     clipper.clip(self.model.parameters())
@@ -118,17 +170,132 @@ class Trainer:
                 num_batches += 1
             history.losses.append(epoch_loss / max(1, num_batches))
 
-            should_evaluate = (self.config.eval_every > 0
-                               and (epoch + 1) % self.config.eval_every == 0)
-            if should_evaluate or (stopper is not None):
-                metrics = self.evaluator.evaluate_model(self.model)
+            should_evaluate = (config.eval_every > 0
+                               and (epoch + 1) % config.eval_every == 0)
+            if should_evaluate:
+                metrics = self.evaluate()
                 history.evaluations.append((len(history.losses), metrics))
-                if self.energy_monitor is not None and hasattr(self.model, "encode"):
-                    self.energy_monitor.record(len(history.losses), self.model.encode("source"))
+                if energy_monitor is not None:
+                    self.record_energy(energy_monitor, len(history.losses))
                 if stopper is not None:
                     stopper.update(metrics.hits_at_1)
                     if stopper.should_stop:
                         break
+
+
+class FullGraphLoop(TrainingLoop):
+    """Classic strategy: every step encodes all entities of both graphs."""
+
+    name = "full"
+
+    def _build_evaluator(self) -> Evaluator:
+        return Evaluator(self.task)
+
+    def epoch_batches(self, pairs: np.ndarray):
+        """Yield mini-batches of seed pairs (full batch when small enough)."""
+        batch_size = self.config.batch_size
+        order = epoch_order(self._rng, len(pairs), batch_size)
+        for start in range(0, len(pairs), batch_size):
+            yield pairs[order[start:start + batch_size]]
+
+    def batch_loss(self, batch: np.ndarray) -> Tensor:
+        return _loss_total(self.model.loss(batch[:, 0], batch[:, 1]))
+
+    def model_similarity(self):
+        # Forward use_propagation only when the signature accepts it — the
+        # same inspection Evaluator.evaluate_model uses, so a TypeError
+        # raised *inside* the decode surfaces instead of silently retrying
+        # without propagation.
+        kwargs = filter_supported_kwargs(self.model.similarity,
+                                         use_propagation=True)
+        return self.model.similarity(**kwargs)
+
+    def record_energy(self, monitor: EnergyMonitor, epoch: int) -> None:
+        if hasattr(self.model, "encode"):
+            monitor.record(epoch, self.model.encode("source"))
+
+
+class NeighbourSampledLoop(TrainingLoop):
+    """Neighbour-sampled mini-batch strategy (GraphSAGE-style).
+
+    Batches come from a :class:`SeedPairLoader` (sharing the trainer's
+    generator, so the batch schedule matches the full-graph strategy);
+    losses go through ``model.subgraph_loss``; evaluation and the iterative
+    pseudo-seed decode use sampled (batched) inference plus the streaming
+    blockwise top-k engine, so nothing materialises a full-graph forward or
+    an ``n_s x n_t`` matrix.
+    """
+
+    name = "neighbour"
+
+    def __init__(self, model, task: PreparedTask, config: TrainingConfig,
+                 rng: np.random.Generator):
+        if not (hasattr(model, "subgraph_loss") and hasattr(model, "neighbour_sampler")):
+            raise TypeError(
+                f"{type(model).__name__} does not support sampling='neighbour': "
+                "it must expose subgraph_loss(...) and neighbour_sampler(...)")
+        if getattr(getattr(model, "config", None), "energy_weight", 0) > 0:
+            raise ValueError(
+                "the Dirichlet-energy penalty (energy_weight > 0) requires the "
+                "full Laplacian and cannot be trained with sampling='neighbour'")
+        self._source_sampler = model.neighbour_sampler(
+            "source", fanouts=config.fanouts, seed=config.seed)
+        self._target_sampler = model.neighbour_sampler(
+            "target", fanouts=config.fanouts, seed=config.seed + 1)
+        super().__init__(model, task, config, rng)
+
+    def _build_evaluator(self) -> Evaluator:
+        return Evaluator(self.task, decode="blockwise", encode="sampled",
+                         encode_batch_size=self.config.eval_batch_size)
+
+    def epoch_batches(self, pairs: np.ndarray):
+        loader = SeedPairLoader(pairs, self._source_sampler, self._target_sampler,
+                                batch_size=self.config.batch_size, rng=self._rng)
+        yield from loader
+
+    def batch_loss(self, batch) -> Tensor:
+        return _loss_total(self.model.subgraph_loss(
+            batch.source_view, batch.target_view,
+            batch.pairs[:, 0], batch.pairs[:, 1],
+            source_local=batch.source_index, target_local=batch.target_index))
+
+    def model_similarity(self):
+        return self.model.similarity(
+            use_propagation=True, decode="blockwise", encode="sampled",
+            encode_batch_size=self.config.eval_batch_size)
+
+    # Recording energy would require a full-graph encoder pass, which this
+    # strategy exists to avoid; record_energy stays the base no-op, and
+    # Trainer.__init__ rejects an energy monitor paired with this loop.
+
+
+def build_training_loop(model, task: PreparedTask, config: TrainingConfig,
+                        rng: np.random.Generator | None = None) -> TrainingLoop:
+    """Instantiate the :class:`TrainingLoop` selected by ``config.sampling``."""
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    if config.sampling == "neighbour":
+        return NeighbourSampledLoop(model, task, config, rng)
+    return FullGraphLoop(model, task, config, rng)
+
+
+class Trainer:
+    """Generic trainer for entity-alignment models on a prepared task."""
+
+    def __init__(self, model, task: PreparedTask, config: TrainingConfig | None = None,
+                 energy_monitor: EnergyMonitor | None = None):
+        self.model = model
+        self.task = task
+        self.config = config or TrainingConfig()
+        self.energy_monitor = energy_monitor
+        self._rng = np.random.default_rng(self.config.seed)
+        self.loop = build_training_loop(model, task, self.config, self._rng)
+        if (energy_monitor is not None
+                and type(self.loop).record_energy is TrainingLoop.record_energy):
+            raise ValueError(
+                f"energy monitoring needs a full-graph encoder pass, which the "
+                f"'{self.loop.name}' training loop never runs; use "
+                f"sampling='full' or drop the energy monitor")
+        self.evaluator = self.loop.evaluator
 
     # ------------------------------------------------------------------
     # Iterative (bootstrapping) strategy
@@ -136,13 +303,13 @@ class Trainer:
     def _augment_with_pseudo_pairs(self, seeds: np.ndarray) -> np.ndarray:
         """Promote mutual nearest-neighbour test candidates to pseudo-seeds.
 
-        ``_model_similarity`` may return a dense matrix or a streaming
-        :class:`~repro.core.similarity.TopKSimilarity`; the mutual-NN
-        selection accepts both, so iterative training on large tasks runs
-        from the running row/column argmax reductions instead of an
-        ``n_s x n_t`` matrix.
+        The loop's similarity may be a dense matrix or a streaming
+        :class:`~repro.core.similarity.TopKSimilarity` (the neighbour
+        strategy always streams); the mutual-NN selection accepts both, so
+        iterative training on large tasks runs from the running row/column
+        argmax reductions instead of an ``n_s x n_t`` matrix.
         """
-        similarity = self._model_similarity()
+        similarity = self.loop.model_similarity()
         seed_sources = set(int(s) for s in seeds[:, 0])
         seed_targets = set(int(t) for t in seeds[:, 1])
         candidates = mutual_nearest_pairs(
@@ -156,12 +323,6 @@ class Trainer:
         pseudo = np.asarray(candidates, dtype=np.int64)
         return np.concatenate([seeds, pseudo], axis=0)
 
-    def _model_similarity(self):
-        try:
-            return self.model.similarity(use_propagation=True)
-        except TypeError:
-            return self.model.similarity()
-
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -171,17 +332,26 @@ class Trainer:
         seeds = self.task.train_pairs.copy()
 
         train_start = time.perf_counter()
-        self._train_phase(seeds, self.config.epochs, history)
+        self.loop.train_phase(seeds, self.config.epochs, history, self.energy_monitor)
         if self.config.iterative:
             for _ in range(self.config.iterative_rounds):
                 seeds = self._augment_with_pseudo_pairs(seeds)
                 history.pseudo_pairs.append(len(seeds) - len(self.task.train_pairs))
-                self._train_phase(seeds, self.config.iterative_epochs, history)
+                self.loop.train_phase(seeds, self.config.iterative_epochs, history,
+                                      self.energy_monitor)
         train_seconds = time.perf_counter() - train_start
 
-        decode_start = time.perf_counter()
-        metrics = self.evaluator.evaluate_model(self.model)
-        decode_seconds = time.perf_counter() - decode_start
+        # The parameters have not changed since the last in-training
+        # evaluation when it landed on the final epoch — reuse it instead
+        # of decoding the same model twice.  That evaluation ran inside the
+        # training window, so its time moves from the train to the decode
+        # figure rather than being counted in both.
+        if history.evaluations and history.evaluations[-1][0] == len(history.losses):
+            metrics = history.evaluations[-1][1]
+            train_seconds = max(0.0, train_seconds - self.loop.last_eval_seconds)
+        else:
+            metrics = self.loop.evaluate()
+        decode_seconds = self.loop.last_eval_seconds
 
         num_parameters = 0
         if hasattr(self.model, "num_parameters"):

@@ -7,6 +7,7 @@ from .features import (
     ModalFeatureSet,
     build_feature_set,
 )
+from .loader import SeedPairBatch, SeedPairLoader
 from .synthetic import SyntheticPairConfig, SyntheticWorld, generate_world, generate_pair
 from .benchmarks import (
     MONOLINGUAL_DATASETS,
@@ -26,6 +27,8 @@ __all__ = [
     "visual_feature_matrix",
     "ModalFeatureSet",
     "build_feature_set",
+    "SeedPairBatch",
+    "SeedPairLoader",
     "SyntheticPairConfig",
     "SyntheticWorld",
     "generate_world",

@@ -1,0 +1,120 @@
+"""Mini-batch seed-pair loading for neighbour-sampled training.
+
+A :class:`SeedPairLoader` turns the seed-alignment array of a prepared task
+into a stream of :class:`SeedPairBatch` objects: for every mini-batch of
+``[source_id, target_id]`` pairs it extracts the paired source and target
+:class:`~repro.kg.sampling.SubgraphView`\\ s (one per graph, sampled by the
+callers' :class:`~repro.kg.sampling.NeighbourSampler`\\ s) plus the local row
+indices of the batch entities inside each view's seed set — everything a
+subgraph-aware loss needs.
+
+Batching semantics mirror the full-graph trainer exactly: when all pairs fit
+in one batch they are yielded unpermuted, otherwise the epoch order is a
+fresh permutation from the loader's generator.  Sharing one generator
+between the trainer and the loader therefore keeps the full-graph and the
+sampled strategies on identical batch schedules, which is what lets the
+full-fanout equivalence benchmark compare them within float tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg.sampling import NeighbourSampler, SubgraphView
+
+__all__ = ["SeedPairBatch", "SeedPairLoader", "epoch_order"]
+
+
+def epoch_order(rng: np.random.Generator, num_items: int, batch_size: int,
+                shuffle: bool = True) -> np.ndarray:
+    """One epoch's visiting order over ``num_items`` seed pairs.
+
+    The single source of truth for batch scheduling, shared by the
+    full-graph trainer loop and :class:`SeedPairLoader`: a permutation is
+    drawn from ``rng`` only when shuffling *and* more than one batch is
+    needed, so both strategies consume the generator identically — the
+    invariant behind the full-fanout training-equivalence contract.
+    """
+    if shuffle and num_items > batch_size:
+        return rng.permutation(num_items)
+    return np.arange(num_items)
+
+
+@dataclass
+class SeedPairBatch:
+    """One mini-batch of seed pairs with their paired subgraph views.
+
+    ``source_index`` / ``target_index`` are the positions of
+    ``pairs[:, 0]`` / ``pairs[:, 1]`` inside ``source_view.seed_nodes`` /
+    ``target_view.seed_nodes`` — i.e. the rows of the subgraph encoder
+    outputs that belong to this batch's entities.
+    """
+
+    pairs: np.ndarray
+    source_view: SubgraphView
+    target_view: SubgraphView
+    source_index: np.ndarray
+    target_index: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class SeedPairLoader:
+    """Iterate seed pairs in mini-batches, sampling paired subgraphs.
+
+    Parameters
+    ----------
+    pairs:
+        ``(num_pairs, 2)`` array of ``[source_id, target_id]`` alignments.
+    source_sampler, target_sampler:
+        The per-graph neighbour samplers (their fanouts set the receptive
+        field of each batch).
+    batch_size:
+        Seed pairs per batch.
+    rng:
+        Optional generator shared with the caller; falls back to a fresh
+        ``default_rng(seed)``.
+    shuffle:
+        Permute the pair order every epoch (only when more than one batch
+        is needed, matching the full-graph trainer).
+    """
+
+    def __init__(self, pairs: np.ndarray, source_sampler: NeighbourSampler,
+                 target_sampler: NeighbourSampler, batch_size: int = 512,
+                 rng: np.random.Generator | None = None, seed: int = 0,
+                 shuffle: bool = True):
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError("pairs must have shape (num_pairs, 2)")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.pairs = pairs
+        self.source_sampler = source_sampler
+        self.target_sampler = target_sampler
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return int(np.ceil(len(self.pairs) / self.batch_size))
+
+    def __iter__(self):
+        num_pairs = len(self.pairs)
+        if num_pairs == 0:
+            return
+        order = epoch_order(self._rng, num_pairs, self.batch_size, self.shuffle)
+        for start in range(0, num_pairs, self.batch_size):
+            batch_pairs = self.pairs[order[start:start + self.batch_size]]
+            source_view = self.source_sampler.sample(batch_pairs[:, 0])
+            target_view = self.target_sampler.sample(batch_pairs[:, 1])
+            yield SeedPairBatch(
+                pairs=batch_pairs,
+                source_view=source_view,
+                target_view=target_view,
+                source_index=source_view.global_to_local(batch_pairs[:, 0]),
+                target_index=target_view.global_to_local(batch_pairs[:, 1]),
+            )

@@ -11,7 +11,25 @@ import numpy as np
 from ..core.task import PreparedTask
 from .metrics import AlignmentMetrics, evaluate_alignment
 
-__all__ = ["Evaluator", "TimingResult", "time_callable"]
+__all__ = ["Evaluator", "TimingResult", "filter_supported_kwargs", "time_callable"]
+
+
+def filter_supported_kwargs(fn, **candidates) -> dict:
+    """Keep only the keyword arguments ``fn``'s signature accepts.
+
+    The signature is inspected once rather than probing with retries that
+    could swallow a genuine TypeError raised inside ``fn`` itself; builtins
+    and C callables without an inspectable signature receive no kwargs.
+    Shared by :meth:`Evaluator.evaluate_model` and the training loops so a
+    keyword added to ``model.similarity`` is forwarded consistently.
+    """
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return {}
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return dict(candidates)
+    return {key: value for key, value in candidates.items() if key in parameters}
 
 
 @dataclass
@@ -19,40 +37,41 @@ class Evaluator:
     """Evaluate similarities against a prepared task's test split.
 
     Accepts both full similarity matrices and streaming
-    :class:`~repro.core.similarity.TopKSimilarity` decodes; ``decode``
-    is forwarded to models whose ``similarity()`` supports the
-    ``"dense" | "blockwise" | "auto"`` switch, so large tasks evaluate
-    without ever materialising the ``n_s x n_t`` matrix.
+    :class:`~repro.core.similarity.TopKSimilarity` decodes; ``decode``,
+    ``encode`` and ``encode_batch_size`` are forwarded to models whose
+    ``similarity()`` supports them, so large tasks evaluate without ever
+    materialising the ``n_s x n_t`` matrix (``decode="blockwise"``) or a
+    full-graph encoder pass (``encode="sampled"``, the neighbour-sampled
+    training pipeline's inference path).  ``ranking="csls"`` ranks on
+    CSLS-rescaled similarities — exactly, for dense and streaming decodes
+    alike.
     """
 
     task: PreparedTask
     restrict_candidates: bool = True
     decode: str = "auto"
+    encode: str = "full"
+    encode_batch_size: int | None = None
+    ranking: str = "cosine"
 
     def evaluate_similarity(self, similarity) -> AlignmentMetrics:
         """Score a similarity matrix or top-k decode on the test pairs."""
         return evaluate_alignment(similarity, self.task.test_pairs,
-                                  restrict_candidates=self.restrict_candidates)
+                                  restrict_candidates=self.restrict_candidates,
+                                  ranking=self.ranking)
 
     def evaluate_model(self, model, use_propagation: bool = True) -> AlignmentMetrics:
         """Score any model exposing ``similarity()``.
 
-        The ``use_propagation`` / ``decode`` keywords are forwarded only
-        when the model's signature accepts them (inspected once, rather
-        than probing with retries that could swallow a genuine TypeError
-        raised inside the decode itself).
+        The ``use_propagation`` / ``decode`` / ``encode`` keywords are
+        forwarded only when the model's signature accepts them (see
+        :func:`filter_supported_kwargs`).
         """
-        try:
-            parameters = inspect.signature(model.similarity).parameters
-            accepts_kwargs = any(p.kind is inspect.Parameter.VAR_KEYWORD
-                                 for p in parameters.values())
-        except (TypeError, ValueError):  # builtins / C callables
-            parameters, accepts_kwargs = {}, False
-        kwargs = {}
-        if accepts_kwargs or "use_propagation" in parameters:
-            kwargs["use_propagation"] = use_propagation
-        if accepts_kwargs or "decode" in parameters:
-            kwargs["decode"] = self.decode
+        candidates = {"use_propagation": use_propagation, "decode": self.decode,
+                      "encode": self.encode}
+        if self.encode_batch_size is not None:
+            candidates["encode_batch_size"] = self.encode_batch_size
+        kwargs = filter_supported_kwargs(model.similarity, **candidates)
         return self.evaluate_similarity(model.similarity(**kwargs))
 
 

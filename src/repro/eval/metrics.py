@@ -12,6 +12,16 @@ decode, in which case ranks come from the stored top-k neighbours — exact
 whenever the gold target sits strictly inside the stored top-k, with an
 ``O(n_t)`` single-row fallback re-materialisation when it does not (gold
 missing, or tied with the top-k boundary score).
+
+``ranking="csls"`` ranks on CSLS-rescaled similarities instead of raw
+cosine, without ever densifying a streaming decode: within a row the CSLS
+ordering is ``2 s(i, j) - r_S(j)`` (the row term is constant), and the
+streamed column k-NN means ``r_S`` are available for *every* column, so a
+stored entry's CSLS is exact and an unstored column's CSLS is bounded by
+``2 · boundary - min_j r_S(j)``.  Whenever the gold beats that bound the
+stored top-k already contains every better-ranked candidate; otherwise the
+same ``O(n_t)`` single-row fallback applies — so CSLS ranks are always
+exact too, matching ``csls_similarity`` on the dense matrix bit for bit.
 """
 
 from __future__ import annotations
@@ -27,7 +37,9 @@ __all__ = ["ranks_from_similarity", "hits_at_k", "mean_reciprocal_rank", "Alignm
 
 
 def ranks_from_similarity(similarity, test_pairs: np.ndarray,
-                          restrict_candidates: bool = True) -> np.ndarray:
+                          restrict_candidates: bool = True,
+                          ranking: str = "cosine",
+                          csls_k: int = 10) -> np.ndarray:
     """Rank of the gold target for every test source entity (1-based).
 
     Parameters
@@ -41,13 +53,26 @@ def ranks_from_similarity(similarity, test_pairs: np.ndarray,
         When True (the standard MMEA protocol) candidates are restricted to
         the target entities appearing in the test set; otherwise every
         target entity is a candidate.
+    ranking:
+        ``"cosine"`` ranks the raw similarities; ``"csls"`` ranks their
+        CSLS rescaling (hubness correction) — computed on the fly for a
+        dense matrix and from the streamed k-NN means for a top-k decode.
+    csls_k:
+        ``k`` of the CSLS local-scaling means on the dense path; a top-k
+        decode uses the ``csls_k`` it was streamed with.
     """
+    if ranking not in {"cosine", "csls"}:
+        raise ValueError("ranking must be 'cosine' or 'csls'")
     test_pairs = np.asarray(test_pairs, dtype=np.int64)
     if test_pairs.ndim != 2 or test_pairs.shape[1] != 2:
         raise ValueError("test_pairs must have shape (num_test, 2)")
     if isinstance(similarity, TopKSimilarity):
-        return _ranks_from_topk(similarity, test_pairs, restrict_candidates)
+        return _ranks_from_topk(similarity, test_pairs, restrict_candidates,
+                                ranking=ranking)
     similarity = np.asarray(similarity, dtype=np.float64)
+    if ranking == "csls":
+        from ..core.alignment import csls_similarity
+        similarity = csls_similarity(similarity, k=csls_k)
     if restrict_candidates:
         candidates = np.unique(test_pairs[:, 1])
     else:
@@ -68,7 +93,8 @@ def ranks_from_similarity(similarity, test_pairs: np.ndarray,
 
 
 def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
-                     restrict_candidates: bool = True) -> np.ndarray:
+                     restrict_candidates: bool = True,
+                     ranking: str = "cosine") -> np.ndarray:
     """Gold ranks from a streaming top-k decode (exact; see module docstring)."""
     num_target = topk.shape[1]
     if restrict_candidates:
@@ -82,11 +108,15 @@ def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
             "all test targets included")
     is_candidate = np.zeros(num_target, dtype=bool)
     is_candidate[candidates] = True
+    if topk.columns is None:
+        candidate_positions = candidates
+    else:
+        candidate_positions = np.searchsorted(topk.columns, candidates)
 
     rows = test_pairs[:, 0]
     golds = test_pairs[:, 1]
     kept_ids = topk.indices[rows]                       # (num_test, k)
-    kept_scores = topk.scores[rows]                     # (num_test, k)
+    kept_scores = topk.scores[rows]                     # (num_test, k) raw cosine
     kept_candidate = is_candidate[kept_ids]
 
     gold_hit = kept_ids == golds[:, None]
@@ -95,24 +125,49 @@ def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
         found,
         np.take_along_axis(kept_scores, gold_hit.argmax(axis=1)[:, None], axis=1)[:, 0],
         -np.inf)
-    # Exact whenever the gold sits strictly inside the stored top-k: every
-    # strictly-better candidate and every tie then also sits inside it.
+    # Any column outside the stored top-k scores at most the boundary (the
+    # k-th best raw similarity of the row).
     boundary = kept_scores[:, -1]
-    exact = found & (topk.is_exhaustive() | (gold_scores > boundary))
 
-    better = np.sum(kept_candidate & (kept_scores > gold_scores[:, None]), axis=1)
-    ties_before = np.sum(kept_candidate & (kept_scores == gold_scores[:, None])
+    if ranking == "csls":
+        # Rescale the kept entries to their exact CSLS values (identical
+        # arithmetic to csls_similarity on the dense matrix, entry by
+        # entry); an unstored candidate's CSLS is bounded by
+        # 2·boundary - min_j r_S(j), so the stored top-k provably contains
+        # every better-ranked candidate whenever the gold beats that bound.
+        kept_rank = topk.csls_scores(rows)
+        gold_col_mean = topk.col_knn_mean[topk.column_positions(golds)]
+        gold_rank = np.where(
+            found,
+            2.0 * gold_scores - topk.row_knn_mean[rows] - gold_col_mean,
+            -np.inf)
+        min_col_mean = topk.col_knn_mean[candidate_positions].min()
+        # The row term r_T(i) is common to both sides; compare without it
+        # so float cancellation cannot misclassify a borderline row.
+        exact = found & (topk.is_exhaustive()
+                         | ((2.0 * gold_scores - gold_col_mean)
+                            > 2.0 * boundary - min_col_mean))
+    else:
+        kept_rank = kept_scores
+        gold_rank = gold_scores
+        # Exact whenever the gold sits strictly inside the stored top-k:
+        # every strictly-better candidate and every tie then also sits
+        # inside it.
+        exact = found & (topk.is_exhaustive() | (gold_scores > boundary))
+
+    better = np.sum(kept_candidate & (kept_rank > gold_rank[:, None]), axis=1)
+    ties_before = np.sum(kept_candidate & (kept_rank == gold_rank[:, None])
                          & (kept_ids < golds[:, None]), axis=1)
     ranks = (1 + better + ties_before).astype(np.int64)
 
-    # O(n_t) per-row fallback: gold outside the stored top-k or tied with
-    # its boundary — re-materialise just those similarity rows.
-    if topk.columns is None:
-        candidate_positions = candidates
-    else:
-        candidate_positions = np.searchsorted(topk.columns, candidates)
+    # O(n_t) per-row fallback: gold outside the stored top-k or not provably
+    # separated from it — re-materialise (and rescale) just those rows.
     for row in np.flatnonzero(~exact):
-        row_scores = topk.row_scores(int(rows[row]))[candidate_positions]
+        if ranking == "csls":
+            row_scores = topk.csls_row(int(rows[row]))
+        else:
+            row_scores = topk.row_scores(int(rows[row]))
+        row_scores = row_scores[candidate_positions]
         gold_column = int(np.searchsorted(candidates, golds[row]))
         gold_score = row_scores[gold_column]
         ranks[row] = (1 + np.sum(row_scores > gold_score)
@@ -158,15 +213,19 @@ class AlignmentMetrics:
 
 
 def evaluate_alignment(similarity, test_pairs: np.ndarray,
-                       restrict_candidates: bool = True) -> AlignmentMetrics:
+                       restrict_candidates: bool = True,
+                       ranking: str = "cosine",
+                       csls_k: int = 10) -> AlignmentMetrics:
     """Compute H@1 / H@10 / MRR on gold test pairs.
 
-    ``similarity`` is a full matrix or a :class:`TopKSimilarity` decode.
+    ``similarity`` is a full matrix or a :class:`TopKSimilarity` decode;
+    ``ranking="csls"`` scores the CSLS rescaling instead of raw cosine.
     """
     test_pairs = np.asarray(test_pairs, dtype=np.int64)
     if len(test_pairs) == 0:
         return AlignmentMetrics(0.0, 0.0, 0.0, 0)
-    ranks = ranks_from_similarity(similarity, test_pairs, restrict_candidates)
+    ranks = ranks_from_similarity(similarity, test_pairs, restrict_candidates,
+                                  ranking=ranking, csls_k=csls_k)
     return AlignmentMetrics(
         hits_at_1=hits_at_k(ranks, 1),
         hits_at_10=hits_at_k(ranks, 10),

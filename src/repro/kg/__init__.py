@@ -12,6 +12,7 @@ from .laplacian import (
     partition_laplacian,
     largest_laplacian_eigenvalue,
 )
+from .sampling import NeighbourSampler, SubgraphLayer, SubgraphView, attention_pattern
 from .sparse import (
     adjacency_from_triples,
     degrees_from_triples,
@@ -38,6 +39,10 @@ __all__ = [
     "layer_energy_bounds",
     "partition_laplacian",
     "largest_laplacian_eigenvalue",
+    "NeighbourSampler",
+    "SubgraphLayer",
+    "SubgraphView",
+    "attention_pattern",
     "adjacency_from_triples",
     "degrees_from_triples",
     "normalized_adjacency_sparse",

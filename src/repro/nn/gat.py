@@ -16,6 +16,14 @@ are provided and selected by the adjacency type:
 The masked-dense softmax and the segment softmax agree exactly (masked
 entries underflow to zero), which the equivalence tests assert on both the
 forward values and the parameter gradients.
+
+A third, *bipartite* formulation serves mini-batch training: passing a
+:class:`~repro.kg.sampling.SubgraphView` (sampled over an
+``attention_pattern``) runs each layer on its renumbered local edge list,
+attending from a shrinking destination set over its sampled neighbourhood.
+With full-neighbourhood fanout it reproduces the edge-list forward on the
+seed rows (every segment reduction in identical order; the dense weight
+products match to the last ulp).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..autograd import Tensor, softmax, segment_softmax, segment_sum
+from ..kg.sampling import SubgraphLayer, SubgraphView
 from ..kg.sparse import edge_index
 from . import init
 from .module import Module, ModuleList, Parameter
@@ -74,8 +83,13 @@ class GATLayer(Module):
         """Run attention over ``adjacency`` (self-loops are added).
 
         A scipy sparse adjacency selects the edge-list formulation; a dense
-        array keeps the original masked-dense one.
+        array keeps the original masked-dense one; a
+        :class:`SubgraphLayer` runs the bipartite sampled formulation
+        (``features`` covering the layer's input nodes, the result its
+        output nodes).
         """
+        if isinstance(adjacency, SubgraphLayer):
+            return self._forward_bipartite(features, adjacency)
         if sp.issparse(adjacency):
             return self._forward_edges(features, adjacency)
         return self._forward_dense(features, adjacency)
@@ -108,6 +122,30 @@ class GATLayer(Module):
             outputs.append(segment_sum(messages, rows, num_nodes))
         return Tensor.concat(outputs, axis=-1)
 
+    def _forward_bipartite(self, features: Tensor, layer: SubgraphLayer) -> Tensor:
+        """Sampled attention: input-node features in, output-node rows out.
+
+        Identical arithmetic to :meth:`_forward_edges` with the destination
+        logits gathered through ``dst_in_src`` (every output node is part of
+        the input set), so with full-neighbourhood edges every segment
+        reduction matches the full-graph edge-list forward in value and
+        order.
+        """
+        if features.shape[0] != layer.num_src:
+            raise ValueError("features must have one row per subgraph input node")
+        dst_rows = layer.dst_in_src[layer.edge_dst]
+        outputs = []
+        for head in range(self.num_heads):
+            transformed = features @ self._head_weight(head)
+            logits_src = transformed @ self._attn_src[head]          # (num_src, 1)
+            logits_dst = transformed @ self._attn_dst[head]          # (num_src, 1)
+            scores = (logits_src.index_select(dst_rows)
+                      + logits_dst.index_select(layer.edge_src)).leaky_relu(self.negative_slope)
+            attention = segment_softmax(scores, layer.edge_dst, layer.num_dst)
+            messages = transformed.index_select(layer.edge_src) * attention
+            outputs.append(segment_sum(messages, layer.edge_dst, layer.num_dst))
+        return Tensor.concat(outputs, axis=-1)
+
 
 class GAT(Module):
     """Stack of :class:`GATLayer` with ELU-style nonlinearities between layers.
@@ -125,9 +163,23 @@ class GAT(Module):
         ])
 
     def forward(self, features: Tensor, adjacency) -> Tensor:
+        """Run the stack over a full adjacency or a :class:`SubgraphView`.
+
+        With a view (sampled over an ``attention_pattern`` so self-loops are
+        edges), ``features`` must cover ``view.input_nodes`` and the result
+        holds one row per ``view.seed_nodes``.
+        """
+        if isinstance(adjacency, SubgraphView):
+            if adjacency.num_layers != len(self.layers):
+                raise ValueError(
+                    f"subgraph view has {adjacency.num_layers} layers but the "
+                    f"GAT has {len(self.layers)}")
+            operators: list = list(adjacency.layers)
+        else:
+            operators = [adjacency] * len(self.layers)
         hidden = self.diagonal(features)
-        for index, layer in enumerate(self.layers):
-            hidden = layer(hidden, adjacency)
+        for index, (layer, operator) in enumerate(zip(self.layers, operators)):
+            hidden = layer(hidden, operator)
             if index < len(self.layers) - 1:
                 hidden = hidden.relu()
         return hidden

@@ -5,6 +5,14 @@ Used by the structure channels of several baselines (GCN-Align, EVA):
 self-loops.  The propagation step goes through the :func:`spmm` autograd
 primitive, so ``Ã`` may be a dense array or a CSR matrix — the sparse form
 runs in ``O(|E| d)`` and is what the ``backend="sparse"`` pipeline feeds in.
+
+A :class:`~repro.kg.sampling.SubgraphView` may be passed in place of the
+adjacency for mini-batch training: each layer then multiplies by its
+renumbered ``(num_dst, num_src)`` CSR block, shrinking the node set layer
+by layer until only the seed rows remain.  With full-neighbourhood fanout
+the blocks carry the full rows in the full per-row order, so the subgraph
+forward reproduces the full-graph one on the seed rows (exactly, up to
+BLAS shape effects in the dense weight products).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, spmm
+from ..kg.sampling import SubgraphView
 from . import init
 from .module import Module, ModuleList, Parameter
 
@@ -45,9 +54,26 @@ class GCN(Module):
         ])
 
     def forward(self, features: Tensor, normalized_adjacency) -> Tensor:
+        """Run the stack over a full graph matrix or a :class:`SubgraphView`.
+
+        With a view, ``features`` must cover ``view.input_nodes`` (one row
+        per input node, in that order) and the result holds one row per
+        ``view.seed_nodes``.
+        """
+        if isinstance(normalized_adjacency, SubgraphView):
+            view = normalized_adjacency
+            if view.num_layers != len(self.layers):
+                raise ValueError(
+                    f"subgraph view has {view.num_layers} layers but the GCN "
+                    f"has {len(self.layers)}")
+            if features.shape[0] != view.num_input:
+                raise ValueError("features must have one row per subgraph input node")
+            operators = [layer.csr_block() for layer in view.layers]
+        else:
+            operators = [normalized_adjacency] * len(self.layers)
         hidden = features
-        for index, layer in enumerate(self.layers):
-            hidden = layer(hidden, normalized_adjacency)
+        for index, (layer, operator) in enumerate(zip(self.layers, operators)):
+            hidden = layer(hidden, operator)
             if index < len(self.layers) - 1:
                 hidden = hidden.relu()
         return hidden

@@ -1,0 +1,171 @@
+"""Tests for the pluggable training loops (full-graph vs neighbour-sampled)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DESAlign,
+    DESAlignConfig,
+    FullGraphLoop,
+    NeighbourSampledLoop,
+    Trainer,
+    TrainingConfig,
+    build_training_loop,
+)
+from repro.core.similarity import TopKSimilarity
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return DESAlignConfig(hidden_dim=16, feed_forward_dim=32, seed=0)
+
+
+class TestLoopSelection:
+    def test_factory_selects_strategy(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        assert isinstance(build_training_loop(model, tiny_task, TrainingConfig()),
+                          FullGraphLoop)
+        assert isinstance(
+            build_training_loop(model, tiny_task,
+                                TrainingConfig(sampling="neighbour")),
+            NeighbourSampledLoop)
+
+    def test_invalid_sampling_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(sampling="layerwise")
+        with pytest.raises(ValueError):
+            TrainingConfig(fanouts=(0,))
+        with pytest.raises(ValueError):
+            TrainingConfig(early_stopping_patience=2, eval_every=0)
+
+    def test_neighbour_requires_subgraph_support(self, tiny_task):
+        class Plain:
+            pass
+
+        with pytest.raises(TypeError, match="subgraph_loss"):
+            build_training_loop(Plain(), tiny_task,
+                                TrainingConfig(sampling="neighbour"))
+
+    def test_neighbour_rejects_energy_penalty(self, tiny_task):
+        """The energy term needs the full Laplacian — never dropped silently."""
+        model = DESAlign(tiny_task, DESAlignConfig(hidden_dim=16, seed=0,
+                                                   energy_weight=0.1))
+        with pytest.raises(ValueError, match="energy_weight"):
+            build_training_loop(model, tiny_task,
+                                TrainingConfig(sampling="neighbour"))
+        source_view = model.neighbour_sampler("source").sample(
+            tiny_task.train_pairs[:, 0])
+        target_view = model.neighbour_sampler("target").sample(
+            tiny_task.train_pairs[:, 1])
+        with pytest.raises(ValueError, match="energy_weight"):
+            model.subgraph_loss(source_view, target_view,
+                                tiny_task.train_pairs[:, 0],
+                                tiny_task.train_pairs[:, 1])
+
+    def test_neighbour_rejects_energy_monitor(self, tiny_task, quick_config):
+        """An energy monitor would silently stay empty under sampling."""
+        from repro.core.energy import EnergyMonitor
+
+        model = DESAlign(tiny_task, quick_config)
+        monitor = EnergyMonitor(tiny_task.source.laplacian)
+        with pytest.raises(ValueError, match="energy monitoring"):
+            Trainer(model, tiny_task, TrainingConfig(sampling="neighbour"),
+                    energy_monitor=monitor)
+
+
+class TestSubgraphLossEquivalence:
+    def test_full_fanout_subgraph_loss_matches_full_loss(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        pairs = tiny_task.train_pairs
+        full = model.loss(pairs[:, 0], pairs[:, 1]).total.item()
+        source_view = model.neighbour_sampler("source").sample(pairs[:, 0])
+        target_view = model.neighbour_sampler("target").sample(pairs[:, 1])
+        sub = model.subgraph_loss(source_view, target_view,
+                                  pairs[:, 0], pairs[:, 1]).total.item()
+        assert abs(full - sub) < 1e-9
+
+    def test_sampled_inference_matches_full_encode(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        full_source, full_target = model._evaluation_embeddings()
+        sampled_source, sampled_target = model._evaluation_embeddings(
+            encode="sampled", encode_batch_size=7)
+        np.testing.assert_allclose(sampled_source, full_source, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(sampled_target, full_target, rtol=0, atol=1e-12)
+
+
+class TestNeighbourSampledTraining:
+    def test_full_fanout_training_matches_full_graph(self, tiny_task, quick_config):
+        epochs = 8
+        full_model = DESAlign(tiny_task, quick_config)
+        full = Trainer(full_model, tiny_task,
+                       TrainingConfig(epochs=epochs, eval_every=0, seed=0)).fit()
+        sampled_model = DESAlign(tiny_task, quick_config)
+        sampled = Trainer(sampled_model, tiny_task,
+                          TrainingConfig(epochs=epochs, eval_every=0, seed=0,
+                                         sampling="neighbour")).fit()
+        np.testing.assert_allclose(sampled.history.losses, full.history.losses,
+                                   rtol=0, atol=1e-8)
+        for key, value in full.metrics.as_dict().items():
+            assert abs(sampled.metrics.as_dict()[key] - value) < 1e-6, key
+
+    def test_sampled_fanout_training_learns(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        result = Trainer(model, tiny_task,
+                         TrainingConfig(epochs=12, eval_every=0, seed=0,
+                                        sampling="neighbour", fanouts=(3, 3),
+                                        batch_size=6)).fit()
+        losses = result.history.losses
+        assert len(losses) == 12
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_iterative_pseudo_seeds_use_streaming_decode(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        config = TrainingConfig(epochs=6, eval_every=0, iterative=True,
+                                iterative_rounds=1, iterative_epochs=2, seed=0,
+                                sampling="neighbour", fanouts=(4, 4))
+        trainer = Trainer(model, tiny_task, config)
+        similarity = trainer.loop.model_similarity()
+        assert isinstance(similarity, TopKSimilarity)
+        result = trainer.fit()
+        assert len(result.history.pseudo_pairs) == 1
+        assert result.history.pseudo_pairs[0] >= 0
+
+
+class TestEvaluationCadence:
+    def test_early_stopping_respects_eval_every(self, tiny_task, quick_config):
+        """Regression: early stopping used to force an evaluation every epoch."""
+        model = DESAlign(tiny_task, quick_config)
+        config = TrainingConfig(epochs=9, eval_every=3,
+                                early_stopping_patience=50, seed=0)
+        result = Trainer(model, tiny_task, config).fit()
+        assert [epoch for epoch, _ in result.history.evaluations] == [3, 6, 9]
+
+    def test_final_evaluation_reused_from_last_epoch(self, tiny_task, quick_config,
+                                                     monkeypatch):
+        """Regression: fit() used to decode twice at the final epoch."""
+        from repro.eval.evaluator import Evaluator
+
+        calls = {"count": 0}
+        original = Evaluator.evaluate_model
+
+        def counting(self, model, use_propagation=True):
+            calls["count"] += 1
+            return original(self, model, use_propagation=use_propagation)
+
+        monkeypatch.setattr(Evaluator, "evaluate_model", counting)
+        model = DESAlign(tiny_task, quick_config)
+        result = Trainer(model, tiny_task,
+                         TrainingConfig(epochs=4, eval_every=2, seed=0)).fit()
+        # evaluations at epochs 2 and 4; the final decode reuses epoch 4's.
+        assert calls["count"] == 2
+        assert result.metrics is result.history.evaluations[-1][1]
+        assert result.decode_seconds > 0
+
+    def test_final_evaluation_runs_when_cadence_missed_last_epoch(
+            self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        result = Trainer(model, tiny_task,
+                         TrainingConfig(epochs=5, eval_every=2, seed=0)).fit()
+        # in-training evaluations at 2 and 4; the final one is fresh.
+        assert [epoch for epoch, _ in result.history.evaluations] == [2, 4]
+        assert result.metrics is not result.history.evaluations[-1][1]

@@ -1,0 +1,88 @@
+"""Tests for the mini-batch seed-pair loader (repro.data.loader)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import SeedPairBatch, SeedPairLoader
+from repro.kg.sampling import NeighbourSampler, attention_pattern
+from repro.kg.sparse import adjacency_from_triples
+
+
+def _samplers(num_entities: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+
+    class _Triple:
+        def __init__(self, head, tail):
+            self.head, self.tail = head, tail
+
+    triples = [_Triple(int(a), int(b))
+               for a, b in rng.integers(0, num_entities, size=(4 * num_entities, 2))]
+    pattern = attention_pattern(adjacency_from_triples(num_entities, triples))
+    return (NeighbourSampler(pattern, (3, 3), seed=seed),
+            NeighbourSampler(pattern, (3, 3), seed=seed + 1))
+
+
+@pytest.fixture()
+def pairs():
+    rng = np.random.default_rng(2)
+    sources = rng.choice(30, size=20, replace=False)
+    targets = rng.choice(30, size=20, replace=False)
+    return np.stack([sources, targets], axis=1).astype(np.int64)
+
+
+class TestSeedPairLoader:
+    def test_batches_cover_all_pairs_once(self, pairs):
+        source_sampler, target_sampler = _samplers(30)
+        loader = SeedPairLoader(pairs, source_sampler, target_sampler, batch_size=6)
+        assert len(loader) == 4
+        seen = []
+        for batch in loader:
+            assert isinstance(batch, SeedPairBatch)
+            assert len(batch) <= 6
+            seen.append(batch.pairs)
+        seen = np.concatenate(seen, axis=0)
+        assert len(seen) == len(pairs)
+        assert np.array_equal(np.sort(seen[:, 0]), np.sort(pairs[:, 0]))
+        assert np.array_equal(np.sort(seen[:, 1]), np.sort(pairs[:, 1]))
+
+    def test_local_indices_map_back_to_pair_ids(self, pairs):
+        source_sampler, target_sampler = _samplers(30, seed=1)
+        loader = SeedPairLoader(pairs, source_sampler, target_sampler, batch_size=7)
+        for batch in loader:
+            assert np.array_equal(
+                batch.source_view.seed_nodes[batch.source_index], batch.pairs[:, 0])
+            assert np.array_equal(
+                batch.target_view.seed_nodes[batch.target_index], batch.pairs[:, 1])
+            # the views carry exactly the batch entities as seeds
+            assert np.array_equal(batch.source_view.seed_nodes,
+                                  np.unique(batch.pairs[:, 0]))
+
+    def test_single_batch_keeps_pair_order(self, pairs):
+        source_sampler, target_sampler = _samplers(30, seed=2)
+        loader = SeedPairLoader(pairs, source_sampler, target_sampler, batch_size=64)
+        batches = list(loader)
+        assert len(batches) == 1
+        assert np.array_equal(batches[0].pairs, pairs)
+
+    def test_shuffle_uses_shared_generator(self, pairs):
+        source_sampler, target_sampler = _samplers(30, seed=3)
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        loader_a = SeedPairLoader(pairs, source_sampler, target_sampler,
+                                  batch_size=5, rng=rng_a)
+        loader_b = SeedPairLoader(pairs, *_samplers(30, seed=3),
+                                  batch_size=5, rng=rng_b)
+        order_a = np.concatenate([b.pairs for b in loader_a], axis=0)
+        order_b = np.concatenate([b.pairs for b in loader_b], axis=0)
+        assert np.array_equal(order_a, order_b)
+
+    def test_empty_and_invalid_inputs(self):
+        source_sampler, target_sampler = _samplers(10, seed=4)
+        empty = SeedPairLoader(np.empty((0, 2), dtype=np.int64),
+                               source_sampler, target_sampler)
+        assert list(empty) == []
+        with pytest.raises(ValueError):
+            SeedPairLoader(np.zeros((3, 3)), source_sampler, target_sampler)
+        with pytest.raises(ValueError):
+            SeedPairLoader(np.zeros((3, 2)), source_sampler, target_sampler,
+                           batch_size=0)
