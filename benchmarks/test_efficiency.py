@@ -35,3 +35,10 @@ def test_efficiency(benchmark, bench_scale):
     assert blockwise["peak_mb"] < 0.5 * dense["peak_mb"]
     # Both paths agree on the mutual-NN reduction they computed.
     assert blockwise["mutual_pairs"] == dense["mutual_pairs"]
+    # The IVF candidate layer cuts FLOPs below the exhaustive stream while
+    # keeping the measured recall@1 high on the noisy-copy geometry.
+    exhaustive = result.filter(model="decode-topk-exhaustive", entities=largest)[0]
+    ivf = result.filter(model="decode-topk-ivf", entities=largest)[0]
+    assert exhaustive["flops_fraction"] == 1.0
+    assert ivf["flops_fraction"] < exhaustive["flops_fraction"]
+    assert ivf["recall1"] >= 0.9

@@ -135,15 +135,29 @@ class ModalBaselineModel(Module):
         raise NotImplementedError
 
     def similarity(self, use_propagation: bool = False, decode: str = "auto",
-                   k: int = 10, block_size: int | None = None):
+                   k: int = 10, block_size: int | None = None,
+                   candidates: str = "exhaustive", ann=None):
         """Cosine similarity between joint embeddings (no propagation decoder).
 
         Routes through the shared decoding engine: ``decode="dense"``
         returns the full matrix, ``"blockwise"`` a streaming top-k decode,
-        ``"auto"`` switches on the task size.
+        ``"auto"`` switches on the task size; ``candidates="ivf" | "lsh"``
+        restricts the streaming decode to approximate candidate sets
+        (seeded from this baseline's config unless the
+        :class:`~repro.core.ann.AnnConfig` pins its own seed).
         """
         with no_grad():
             source = self.joint_embedding("source").numpy()
             target = self.joint_embedding("target").numpy()
+        ann = self._resolve_ann(candidates, ann)
         return decode_similarity(source, target, decode=decode, k=k,
-                                 block_size=block_size)
+                                 block_size=block_size, candidates=candidates,
+                                 ann=ann)
+
+    def _resolve_ann(self, candidates: str, ann):
+        """Default the candidate generator's seed to this model's seed."""
+        if candidates == "exhaustive":
+            return ann
+        from ..core.ann import resolve_ann
+
+        return resolve_ann(ann, self.config.seed)

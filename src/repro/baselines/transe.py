@@ -33,6 +33,7 @@ class TransE(Module):
         self.alignment_weight = alignment_weight
         rng = np.random.default_rng(seed)
         self._rng = rng
+        self._seed = seed
         scale = 1.0 / np.sqrt(hidden_dim)
         self.source_entities = Parameter(
             rng.uniform(-scale, scale, size=(task.source.num_entities, hidden_dim)))
@@ -81,9 +82,15 @@ class TransE(Module):
         return structure + alignment * self.alignment_weight
 
     def similarity(self, use_propagation: bool = False, decode: str = "auto",
-                   k: int = 10, block_size: int | None = None):
+                   k: int = 10, block_size: int | None = None,
+                   candidates: str = "exhaustive", ann=None):
         with no_grad():
             source = self.source_entities.numpy()
             target = self.target_entities.numpy()
+        if candidates != "exhaustive":
+            from ..core.ann import resolve_ann
+
+            ann = resolve_ann(ann, self._seed)
         return decode_similarity(source, target, decode=decode, k=k,
-                                 block_size=block_size)
+                                 block_size=block_size, candidates=candidates,
+                                 ann=ann)

@@ -43,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--entities", type=int, default=100)
     train.add_argument("--epochs", type=int, default=80)
     train.add_argument("--iterative", action="store_true")
+    train.add_argument("--candidates", default="exhaustive",
+                       choices=["exhaustive", "ivf", "lsh"],
+                       help="decode candidate generation (ivf/lsh = approximate, "
+                            "sub-quadratic FLOPs)")
     train.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
@@ -63,7 +67,10 @@ def _command_train(args: argparse.Namespace) -> int:
     scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs, seed=args.seed)
     task = build_task(args.dataset, scale, seed_ratio=args.seed_ratio,
                       image_ratio=args.image_ratio, text_ratio=args.text_ratio)
-    result = run_cell(args.model, task, scale, iterative=args.iterative)
+    overrides = ({"candidates": args.candidates}
+                 if args.candidates != "exhaustive" else None)
+    result = run_cell(args.model, task, scale, iterative=args.iterative,
+                      training_overrides=overrides)
     print(f"model={args.model} dataset={args.dataset} "
           f"seeds={len(task.train_pairs)} test={len(task.test_pairs)}")
     print(f"metrics: {result.metrics}")

@@ -11,7 +11,23 @@ from .losses import (
     MultiModalSemanticLoss,
 )
 from .propagation import SemanticPropagation, PropagationResult, closed_form_interpolation
-from .similarity import TopKSimilarity, blockwise_topk, decode_similarity, resolve_decode
+from .ann import (
+    AnnConfig,
+    IVFIndex,
+    RandomHyperplaneLSH,
+    RowCandidates,
+    flops_counter,
+    generate_candidates,
+    recall_at_k,
+    resolve_ann,
+)
+from .similarity import (
+    TopKSimilarity,
+    blockwise_topk,
+    decode_similarity,
+    resolve_candidates,
+    resolve_decode,
+)
 from .alignment import cosine_similarity, csls_similarity, mutual_nearest_pairs, greedy_one_to_one
 from .energy import EnergyMonitor, EnergySnapshot, verify_layer_bounds
 from .model import DESAlign
@@ -41,9 +57,18 @@ __all__ = [
     "SemanticPropagation",
     "PropagationResult",
     "closed_form_interpolation",
+    "AnnConfig",
+    "IVFIndex",
+    "RandomHyperplaneLSH",
+    "RowCandidates",
+    "flops_counter",
+    "generate_candidates",
+    "recall_at_k",
+    "resolve_ann",
     "TopKSimilarity",
     "blockwise_topk",
     "decode_similarity",
+    "resolve_candidates",
     "resolve_decode",
     "cosine_similarity",
     "csls_similarity",

@@ -1,0 +1,667 @@
+"""Approximate candidate generation for sub-quadratic similarity decoding.
+
+The blockwise streaming engine (:mod:`repro.core.similarity`) removed the
+``O(n_s · n_t)`` *memory* of decoding but still computes every source-target
+dot product.  This module supplies the third scaling layer: per-source-row
+**candidate sets** that restrict the streamed decode to a small fraction of
+the similarity cells, so decode FLOPs drop below ``O(n_s · n_t)``.
+
+Two candidate generators are provided, both deterministic for a fixed seed:
+
+* :class:`IVFIndex` — a k-means coarse quantiser over the target embeddings
+  with inverted bucket lists.  Queries probe their ``nprobe`` nearest
+  centroids; an optional *exact-escalation* mode keeps probing buckets in
+  descending centroid-score order until the triangle-inequality bound
+
+  ``sim(q, x) = q·μ_c + q·(x − μ_c)  ≤  q·μ_c + ‖q‖ · r_c``
+
+  (``r_c`` the bucket radius) proves no unprobed bucket can beat the best
+  score found, which guarantees a provably correct top-1 per row — the
+  property mutual-NN pseudo-seeding needs.  Escalation runs in both
+  directions (targets probed from sources and vice versa), so the running
+  column argmax of the restricted decode is exact too and the streamed
+  mutual-NN pair set matches the dense selection wherever scores are
+  untied.
+
+* :class:`RandomHyperplaneLSH` — sign-random-projection hashing with
+  several independent tables; a query's candidates are the union of its
+  colliding buckets.  Cheaper to build than IVF (no k-means) but with no
+  exactness bound, hence no escalation mode.
+
+The candidate sets feed :func:`repro.core.similarity.blockwise_topk` as a
+sparse gather (``row_candidates=``) instead of full block matmuls; the
+resulting :class:`~repro.core.similarity.TopKSimilarity` is flagged
+``approximate`` and every consumer that would be silently lossy on it
+(CSLS ranking, exact-row fallbacks) refuses instead of degrading.
+
+All candidate generation and the restricted decode report their work to an
+optional :func:`flops_counter`, measured in *similarity cells* (one cell is
+one d-dimensional dot product) so benchmarks can enforce a FLOPs budget
+relative to the ``n_s · n_t`` exhaustive decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "AnnConfig",
+    "RowCandidates",
+    "IVFIndex",
+    "RandomHyperplaneLSH",
+    "generate_candidates",
+    "resolve_ann",
+    "recall_at_k",
+    "flops_counter",
+    "count_dot_products",
+    "CANDIDATE_METHODS",
+]
+
+#: Valid values of the ``candidates=`` switch threaded through the decode
+#: stack ("exhaustive" short-circuits candidate generation entirely).
+CANDIDATE_METHODS = ("exhaustive", "ivf", "lsh")
+
+
+# ---------------------------------------------------------------------------
+# FLOPs accounting (similarity cells = d-dimensional dot products)
+# ---------------------------------------------------------------------------
+class _CellCounter:
+    """Accumulates the number of similarity cells (dot products) computed."""
+
+    def __init__(self) -> None:
+        self.cells = 0
+
+    def add(self, cells: int) -> None:
+        self.cells += int(cells)
+
+
+_COUNTER_STACK: list[_CellCounter] = []
+
+
+class flops_counter:
+    """Context manager counting every dot product computed inside its scope.
+
+    Candidate generation (k-means, centroid scoring, LSH projections) and
+    the blockwise decode both report to the innermost active counter, so
+
+    >>> with flops_counter() as counter:
+    ...     topk = blockwise_topk(source, target, row_candidates=cands)
+    >>> counter.cells
+
+    is the full cost of the approximate decode in units of one
+    ``d``-dimensional dot product — directly comparable to the
+    ``n_s · n_t`` cells of the exhaustive decode.
+    """
+
+    def __enter__(self) -> _CellCounter:
+        self._counter = _CellCounter()
+        _COUNTER_STACK.append(self._counter)
+        return self._counter
+
+    def __exit__(self, *exc_info) -> None:
+        _COUNTER_STACK.remove(self._counter)
+
+
+def count_dot_products(cells: int) -> None:
+    """Report ``cells`` dot products to every active :func:`flops_counter`."""
+    for counter in _COUNTER_STACK:
+        counter.add(cells)
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AnnConfig:
+    """Knobs of the candidate-generation layer.
+
+    Attributes
+    ----------
+    n_clusters:
+        IVF coarse-quantiser size; ``None`` derives ``≈ sqrt(n_t)``.
+    nprobe:
+        Buckets probed per query; ``None`` derives ``max(1, n_clusters // 10)``.
+        ``nprobe >= n_clusters`` probes everything, which reproduces the
+        exhaustive blockwise decode bit for bit: :func:`generate_candidates`
+        short-circuits to ``None`` (no candidate structure is materialised)
+        and the engine takes the identical GEMM path.
+    kmeans_iters:
+        Lloyd iterations of the coarse quantiser.
+    exact_escalation:
+        Probe buckets until the centroid-plus-radius bound proves the top-1
+        exact, in both directions (see module docstring).  Required by the
+        iterative trainer's mutual-NN pseudo-seeding; unsupported for LSH.
+    tables, hyperplanes:
+        LSH shape: number of independent hash tables and sign bits per table.
+    min_candidates:
+        Optional per-row floor on the candidate count (the decode itself
+        additionally pads every row to at least its stored ``k``).
+    seed:
+        Seed of k-means initialisation / hyperplane draws.  ``None`` means
+        "inherit from the caller" — the model / trainer substitutes its own
+        configured seed so one ``TrainingConfig.seed`` drives the sampler,
+        the loader and the quantiser alike.
+    """
+
+    n_clusters: int | None = None
+    nprobe: int | None = None
+    kmeans_iters: int = 8
+    exact_escalation: bool = False
+    tables: int = 8
+    hyperplanes: int = 12
+    min_candidates: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters is not None and self.n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if self.nprobe is not None and self.nprobe <= 0:
+            raise ValueError("nprobe must be positive")
+        if self.kmeans_iters < 0:
+            raise ValueError("kmeans_iters must be non-negative")
+        if self.tables <= 0 or self.hyperplanes <= 0:
+            raise ValueError("tables and hyperplanes must be positive")
+        if self.min_candidates is not None and self.min_candidates <= 0:
+            raise ValueError("min_candidates must be positive")
+
+    def with_overrides(self, **kwargs) -> "AnnConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def resolved_seed(self, default: int = 0) -> int:
+        return self.seed if self.seed is not None else default
+
+
+def resolve_ann(ann: "AnnConfig | None", default_seed: int) -> "AnnConfig":
+    """The seed-inheritance rule, in one place.
+
+    Every caller that owns a seed (model config, training config, baseline
+    config) resolves its candidate-generation config through this helper so
+    an ``AnnConfig`` without an explicit seed inherits the caller's — the
+    invariant behind repeat-run determinism.
+    """
+    ann = ann or AnnConfig()
+    if ann.seed is None:
+        ann = ann.with_overrides(seed=default_seed)
+    return ann
+
+
+# ---------------------------------------------------------------------------
+# Per-row candidate sets
+# ---------------------------------------------------------------------------
+def _dedupe_pairs(rows: np.ndarray, cols: np.ndarray, num_rows: int,
+                  num_columns: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (indptr, indices) from (row, col) pairs: sorted, unique per row.
+
+    Pairs are packed into one ``row * num_columns + col`` composite key so
+    a single flat ``np.sort`` (far faster than a two-key lexsort at the
+    10⁸-pair scale of a 50k × 50k decode) yields the per-row ascending
+    order and makes duplicates adjacent.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if len(rows) != len(cols):
+        raise ValueError("rows and cols must have the same length")
+    if num_rows * num_columns > np.iinfo(np.int64).max:  # pragma: no cover
+        raise ValueError("candidate shape too large for composite-key packing")
+    if len(rows):
+        composite = rows * num_columns + cols
+        composite.sort()
+        keep = np.ones(len(composite), dtype=bool)
+        keep[1:] = composite[1:] != composite[:-1]
+        composite = composite[keep]
+        rows = composite // num_columns
+        cols = composite % num_columns
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
+    return indptr, cols
+
+
+@dataclass
+class RowCandidates:
+    """CSR-shaped per-source-row candidate target sets.
+
+    ``indices[indptr[i]:indptr[i + 1]]`` holds row ``i``'s candidate target
+    ids, sorted ascending and unique — the invariant the restricted decode
+    relies on for its argmax-compatible tie semantics.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_columns: int
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if len(self.indices) and (self.indices.min() < 0
+                                  or self.indices.max() >= self.num_columns):
+            raise ValueError("candidate ids out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, rows, cols, num_rows: int, num_columns: int) -> "RowCandidates":
+        """Build from (row, col) index pairs (duplicates allowed)."""
+        indptr, indices = _dedupe_pairs(rows, cols, num_rows, num_columns)
+        return cls(indptr=indptr, indices=indices, num_columns=num_columns)
+
+    @classmethod
+    def complete(cls, num_rows: int, num_columns: int) -> "RowCandidates":
+        """Every column a candidate of every row (the exhaustive set)."""
+        indptr = np.arange(num_rows + 1, dtype=np.int64) * num_columns
+        indices = np.tile(np.arange(num_columns, dtype=np.int64), num_rows)
+        return cls(indptr=indptr, indices=indices, num_columns=num_columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def total(self) -> int:
+        return int(len(self.indices))
+
+    @property
+    def density(self) -> float:
+        """Fraction of the ``num_rows · num_columns`` cells covered."""
+        cells = self.num_rows * self.num_columns
+        return self.total / cells if cells else 0.0
+
+    def row(self, i: int) -> np.ndarray:
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def is_complete(self) -> bool:
+        """True when every row holds every column (exhaustive coverage)."""
+        return bool(np.all(self.counts == self.num_columns))
+
+    # ------------------------------------------------------------------
+    def union(self, other: "RowCandidates") -> "RowCandidates":
+        """Row-wise set union of two candidate structures."""
+        if self.num_rows != other.num_rows or self.num_columns != other.num_columns:
+            raise ValueError("candidate shapes differ")
+        rows = np.concatenate([
+            np.repeat(np.arange(self.num_rows), self.counts),
+            np.repeat(np.arange(other.num_rows), other.counts),
+        ])
+        cols = np.concatenate([self.indices, other.indices])
+        return RowCandidates.from_pairs(rows, cols, self.num_rows, self.num_columns)
+
+    def transposed(self, num_columns: int | None = None) -> "RowCandidates":
+        """Swap the row/column roles (used by reverse escalation)."""
+        rows = np.repeat(np.arange(self.num_rows), self.counts)
+        return RowCandidates.from_pairs(
+            self.indices, rows, self.num_columns,
+            num_columns if num_columns is not None else self.num_rows)
+
+    def padded(self, min_count: int) -> "RowCandidates":
+        """Ensure every row holds at least ``min_count`` candidates.
+
+        Deficient rows are topped up with the smallest column ids not
+        already present — a handful of extra exact dot products per row,
+        which keeps every downstream top-k / rank consumer free of
+        shorter-than-k rows without distorting the stored scores.
+        """
+        min_count = min(int(min_count), self.num_columns)
+        counts = self.counts
+        deficient = np.flatnonzero(counts < min_count)
+        if len(deficient) == 0:
+            return self
+        # Vectorised top-up: a deficient row holds < min_count candidates, so
+        # the smallest min_count missing ids all fall below
+        # min_count + count < 2 * min_count — a bounded window per row.  A
+        # stable argsort of the presence mask lists the absent columns first,
+        # in ascending id order.
+        deficient_counts = counts[deficient]
+        limit = min(self.num_columns, int(min_count + deficient_counts.max()))
+        positions = _flat_bucket_positions(self.indptr[deficient], deficient_counts)
+        have_cols = self.indices[positions]
+        have_rows = np.repeat(np.arange(len(deficient)), deficient_counts)
+        present = np.zeros((len(deficient), limit), dtype=bool)
+        in_window = have_cols < limit
+        present[have_rows[in_window], have_cols[in_window]] = True
+        absent_first = np.argsort(present, axis=1, kind="stable")
+        needed = min_count - deficient_counts
+        take = np.arange(limit)[None, :] < needed[:, None]
+        extra_cols = absent_first[take]
+        extra_rows = np.repeat(deficient, needed)
+        rows = np.concatenate([np.repeat(np.arange(self.num_rows), counts),
+                               extra_rows])
+        cols = np.concatenate([self.indices, extra_cols])
+        return RowCandidates.from_pairs(rows, cols, self.num_rows, self.num_columns)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.maximum(np.linalg.norm(matrix, axis=1, keepdims=True), 1e-12)
+    return matrix / norms
+
+
+def _concat_states(states) -> np.ndarray:
+    """Round-concatenated normalised embeddings.
+
+    The round-averaged similarity is ``(1/R) Σ_r ŝ_r · t̂_r``, i.e. a
+    positive multiple of the dot product of the per-round-normalised
+    concatenations — so nearest-neighbour structure (and hence candidate
+    generation) on the concatenation is exactly the structure of the
+    averaged similarity.
+    """
+    if isinstance(states, np.ndarray):
+        states = [states]
+    return np.concatenate([_normalize_rows(np.asarray(s)) for s in states], axis=1)
+
+
+def _flat_bucket_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    exclusive = np.cumsum(counts) - counts
+    offsets = np.arange(total) - np.repeat(exclusive, counts)
+    return np.repeat(starts, counts) + offsets
+
+
+# ---------------------------------------------------------------------------
+# IVF (k-means coarse quantiser + inverted buckets)
+# ---------------------------------------------------------------------------
+class IVFIndex:
+    """Inverted-file index over a vector set, bucketed by k-means cells.
+
+    Similarity is the plain dot product (callers pass normalised — possibly
+    round-concatenated — embeddings, making it cosine / round-averaged
+    cosine).  k-means runs on the same dot-product geometry via Euclidean
+    distance of the stored vectors; every random draw comes from one seeded
+    generator so the index is bit-reproducible.
+    """
+
+    def __init__(self, vectors: np.ndarray, n_clusters: int | None = None,
+                 kmeans_iters: int = 8, seed: int = 0):
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise ValueError("vectors must be a non-empty 2-D array")
+        self.vectors = vectors
+        num = len(vectors)
+        if n_clusters is None:
+            n_clusters = max(1, int(round(np.sqrt(num))))
+        self.n_clusters = min(int(n_clusters), num)
+        rng = np.random.default_rng(seed)
+
+        centroids = vectors[rng.choice(num, size=self.n_clusters, replace=False)].copy()
+        # kmeans_iters=0 keeps the raw random-centroid bucketing; the final
+        # assignment below always runs.
+        for _ in range(int(kmeans_iters)):
+            assignments = self._assign(vectors, centroids)
+            sums = np.zeros_like(centroids)
+            np.add.at(sums, assignments, vectors)
+            counts = np.bincount(assignments, minlength=self.n_clusters)
+            occupied = counts > 0
+            centroids[occupied] = sums[occupied] / counts[occupied, None]
+            if not occupied.all():
+                # Reseed empty cells on the points farthest from their own
+                # centroid — deterministic, and it keeps buckets balanced
+                # enough that nprobe candidate counts stay predictable.
+                distances = np.linalg.norm(vectors - centroids[assignments], axis=1)
+                farthest = np.argsort(-distances)
+                centroids[~occupied] = vectors[farthest[:int((~occupied).sum())]]
+        self.assignments = self._assign(vectors, centroids)
+        self.centroids = centroids
+
+        # The stable argsort groups members by cluster while keeping ids
+        # ascending within every bucket — the order the candidate decode's
+        # tie semantics rely on.
+        order = np.argsort(self.assignments, kind="stable")
+        self.bucket_indices = order.astype(np.int64)
+        bucket_counts = np.bincount(self.assignments, minlength=self.n_clusters)
+        self.bucket_indptr = np.zeros(self.n_clusters + 1, dtype=np.int64)
+        np.cumsum(bucket_counts, out=self.bucket_indptr[1:])
+
+        deltas = vectors - centroids[self.assignments]
+        radii = np.zeros(self.n_clusters, dtype=np.float64)
+        np.maximum.at(radii, self.assignments, np.linalg.norm(deltas, axis=1))
+        self.radii = radii
+
+    # ------------------------------------------------------------------
+    def _assign(self, vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Nearest centroid (Euclidean) per vector; first index wins ties."""
+        count_dot_products(len(vectors) * len(centroids))
+        cross = vectors @ centroids.T
+        sq = 0.5 * np.sum(centroids ** 2, axis=1)
+        return np.argmax(cross - sq[None, :], axis=1).astype(np.int64)
+
+    def centroid_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Dot product of every query against every centroid."""
+        count_dot_products(len(queries) * self.n_clusters)
+        return np.asarray(queries, dtype=np.float64) @ self.centroids.T
+
+    def default_nprobe(self) -> int:
+        return max(1, self.n_clusters // 10)
+
+    # ------------------------------------------------------------------
+    def candidates(self, queries: np.ndarray, nprobe: int | None = None) -> RowCandidates:
+        """Members of each query's ``nprobe`` best-scoring buckets."""
+        queries = np.asarray(queries, dtype=np.float64)
+        nprobe = self.default_nprobe() if nprobe is None else int(nprobe)
+        if nprobe <= 0:
+            raise ValueError("nprobe must be positive")
+        nprobe = min(nprobe, self.n_clusters)
+        scores = self.centroid_scores(queries)
+        if nprobe < self.n_clusters:
+            probed = np.argpartition(scores, self.n_clusters - nprobe,
+                                     axis=1)[:, self.n_clusters - nprobe:]
+        else:
+            probed = np.broadcast_to(np.arange(self.n_clusters), scores.shape)
+        clusters = probed.ravel()
+        query_of_probe = np.repeat(np.arange(len(queries)), probed.shape[1])
+        starts = self.bucket_indptr[clusters]
+        counts = self.bucket_indptr[clusters + 1] - starts
+        positions = _flat_bucket_positions(starts, counts)
+        cols = self.bucket_indices[positions]
+        rows = np.repeat(query_of_probe, counts)
+        return RowCandidates.from_pairs(rows, cols, len(queries), len(self.vectors))
+
+    def escalated_candidates(self, queries: np.ndarray) -> RowCandidates:
+        """Probe buckets per query until the top-1 is provably exact.
+
+        Buckets are visited in descending centroid-score order; a query
+        stops as soon as its best score so far is at least the maximum
+        ``q·μ_c + ‖q‖·r_c`` bound over its unprobed buckets, at which point
+        no unprobed vector can strictly beat the best found.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        num_queries = len(queries)
+        scores = self.centroid_scores(queries)
+        order = np.argsort(-scores, axis=1)
+        norms = np.linalg.norm(queries, axis=1)
+        bounds = (np.take_along_axis(scores, order, axis=1)
+                  + norms[:, None] * self.radii[order])
+        # suffix_max[:, p] = best possible score among probe positions >= p
+        suffix_max = np.maximum.accumulate(bounds[:, ::-1], axis=1)[:, ::-1]
+
+        best = np.full(num_queries, -np.inf)
+        active = np.arange(num_queries)
+        collected_rows: list[np.ndarray] = []
+        collected_cols: list[np.ndarray] = []
+        for position in range(self.n_clusters):
+            if len(active) == 0:
+                break
+            clusters = order[active, position]
+            starts = self.bucket_indptr[clusters]
+            counts = self.bucket_indptr[clusters + 1] - starts
+            positions = _flat_bucket_positions(starts, counts)
+            cols = self.bucket_indices[positions]
+            rows = np.repeat(active, counts)
+            if len(cols):
+                count_dot_products(len(cols))
+                values = np.einsum("ed,ed->e", queries[rows], self.vectors[cols])
+                np.maximum.at(best, rows, values)
+                collected_rows.append(rows)
+                collected_cols.append(cols)
+            if position + 1 >= self.n_clusters:
+                break
+            done = best[active] >= suffix_max[active, position + 1]
+            active = active[~done]
+        if collected_rows:
+            all_rows = np.concatenate(collected_rows)
+            all_cols = np.concatenate(collected_cols)
+        else:  # pragma: no cover - only with an all-empty index
+            all_rows = np.empty(0, dtype=np.int64)
+            all_cols = np.empty(0, dtype=np.int64)
+        return RowCandidates.from_pairs(all_rows, all_cols, num_queries,
+                                        len(self.vectors))
+
+
+# ---------------------------------------------------------------------------
+# Random-hyperplane (sign) LSH
+# ---------------------------------------------------------------------------
+class RandomHyperplaneLSH:
+    """Sign-random-projection hashing over a vector set.
+
+    ``tables`` independent hash tables of ``hyperplanes`` sign bits each; a
+    query's candidates are the union of the buckets whose full code matches
+    in at least one table.  Collision probability per bit is
+    ``1 − θ/π`` for angle ``θ``, so near neighbours collide in some table
+    with high probability while the expected bucket size stays
+    ``n / 2^hyperplanes``.
+    """
+
+    def __init__(self, vectors: np.ndarray, tables: int = 8,
+                 hyperplanes: int = 12, seed: int = 0):
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise ValueError("vectors must be a non-empty 2-D array")
+        if hyperplanes > 62:
+            raise ValueError("hyperplanes must be <= 62 (codes are int64)")
+        self.num_vectors = len(vectors)
+        rng = np.random.default_rng(seed)
+        self.planes = rng.normal(size=(tables, vectors.shape[1], hyperplanes))
+        self.tables = tables
+        self.hyperplanes = hyperplanes
+        codes = self._codes(vectors)                    # (n, tables)
+        self._sorted_codes: list[np.ndarray] = []
+        self._sorted_ids: list[np.ndarray] = []
+        for table in range(tables):
+            order = np.argsort(codes[:, table], kind="stable")
+            self._sorted_ids.append(order.astype(np.int64))
+            self._sorted_codes.append(codes[order, table])
+
+    def _codes(self, vectors: np.ndarray) -> np.ndarray:
+        """Per-table integer hash codes of ``vectors``."""
+        count_dot_products(len(vectors) * self.tables * self.hyperplanes)
+        weights = (1 << np.arange(self.hyperplanes)).astype(np.int64)
+        codes = np.empty((len(vectors), self.tables), dtype=np.int64)
+        for table in range(self.tables):
+            bits = (np.asarray(vectors, dtype=np.float64)
+                    @ self.planes[table]) >= 0.0
+            codes[:, table] = bits.astype(np.int64) @ weights
+        return codes
+
+    def candidates(self, queries: np.ndarray) -> RowCandidates:
+        """Union over tables of each query's colliding bucket."""
+        queries = np.asarray(queries, dtype=np.float64)
+        codes = self._codes(queries)
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        for table in range(self.tables):
+            sorted_codes = self._sorted_codes[table]
+            starts = np.searchsorted(sorted_codes, codes[:, table], side="left")
+            stops = np.searchsorted(sorted_codes, codes[:, table], side="right")
+            counts = stops - starts
+            positions = _flat_bucket_positions(starts, counts)
+            cols_parts.append(self._sorted_ids[table][positions])
+            rows_parts.append(np.repeat(np.arange(len(queries)), counts))
+        return RowCandidates.from_pairs(
+            np.concatenate(rows_parts), np.concatenate(cols_parts),
+            len(queries), self.num_vectors)
+
+
+# ---------------------------------------------------------------------------
+# Front door used by the decode stack
+# ---------------------------------------------------------------------------
+def generate_candidates(method: str, source, target,
+                        config: AnnConfig | None = None) -> RowCandidates | None:
+    """Per-source-row candidate target sets for a (round-averaged) decode.
+
+    ``source`` / ``target`` are embedding matrices or lists of per-round
+    states (the Semantic Propagation decode); rounds are normalised and
+    concatenated, which preserves the averaged-similarity neighbour
+    structure exactly.  ``method`` selects the generator; the returned sets
+    are deterministic functions of the inputs and ``config.seed``.
+
+    Returns ``None`` when the configuration provably covers every cell
+    (IVF with ``nprobe >= n_clusters``): complete coverage *is* the
+    exhaustive decode, and ``blockwise_topk(row_candidates=None)`` takes
+    the identical GEMM path bit for bit — without ever materialising an
+    ``O(n_s · n_t)`` candidate structure.
+    """
+    if method not in {"ivf", "lsh"}:
+        raise ValueError(f"unknown candidate method {method!r}; "
+                         f"use one of {CANDIDATE_METHODS}")
+    config = config or AnnConfig()
+    seed = config.resolved_seed()
+    source_concat = _concat_states(source)
+    target_concat = _concat_states(target)
+
+    if method == "ivf" and not config.exact_escalation and config.nprobe is not None:
+        num_targets = len(target_concat)
+        n_clusters = config.n_clusters
+        if n_clusters is None:
+            n_clusters = max(1, int(round(np.sqrt(num_targets))))
+        if config.nprobe >= min(int(n_clusters), num_targets):
+            return None
+
+    if method == "lsh":
+        if config.exact_escalation:
+            raise ValueError(
+                "exact_escalation is only available for candidates='ivf': "
+                "random-hyperplane LSH has no bound proving a top-1 exact")
+        index = RandomHyperplaneLSH(target_concat, tables=config.tables,
+                                    hyperplanes=config.hyperplanes, seed=seed)
+        result = index.candidates(source_concat)
+    else:
+        index = IVFIndex(target_concat, n_clusters=config.n_clusters,
+                         kmeans_iters=config.kmeans_iters, seed=seed)
+        if config.exact_escalation:
+            forward = index.escalated_candidates(source_concat)
+            reverse_index = IVFIndex(source_concat, n_clusters=config.n_clusters,
+                                     kmeans_iters=config.kmeans_iters, seed=seed + 1)
+            reverse = reverse_index.escalated_candidates(target_concat)
+            result = forward.union(reverse.transposed())
+        else:
+            result = index.candidates(source_concat, nprobe=config.nprobe)
+
+    if config.min_candidates is not None and result is not None:
+        result = result.padded(config.min_candidates)
+    return result
+
+
+def recall_at_k(approx_indices: np.ndarray, exact_indices: np.ndarray,
+                k: int = 1) -> float:
+    """Mean per-row overlap between approximate and exact top-``k`` ids.
+
+    ``recall@k = |approx_topk ∩ exact_topk| / k`` averaged over rows — the
+    measured-recall figure the efficiency experiment and the scaling
+    benchmark record against the exact decode.
+    """
+    approx_indices = np.asarray(approx_indices)
+    exact_indices = np.asarray(exact_indices)
+    if approx_indices.ndim != 2 or exact_indices.ndim != 2:
+        raise ValueError("expected (rows, k) index arrays")
+    if len(approx_indices) != len(exact_indices):
+        raise ValueError("row counts differ")
+    k = min(k, exact_indices.shape[1])
+    if k <= 0:
+        raise ValueError("k must be positive")
+    exact_top = exact_indices[:, :k]
+    approx_top = approx_indices[:, :min(k, approx_indices.shape[1])]
+    hits = (exact_top[:, :, None] == approx_top[:, None, :]).any(axis=2)
+    return float(hits.sum(axis=1).mean() / k)

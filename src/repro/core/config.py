@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .ann import AnnConfig
+
 __all__ = ["DESAlignConfig", "TrainingConfig", "DEFAULT_ENCODE_BATCH"]
 
 #: Order in which modalities are stacked inside the cross-modal attention.
@@ -134,6 +136,16 @@ class TrainingConfig:
     early_stopping_patience / eval_every:
         Early stopping consumes the periodic evaluations, so enabling it
         requires an evaluation cadence (``eval_every > 0``).
+    candidates / ann:
+        Candidate generation of the decode stack (``"exhaustive"`` — every
+        cell, the default — or ``"ivf"`` / ``"lsh"`` approximate candidate
+        sets, see :mod:`repro.core.ann`).  Periodic evaluations use the
+        setting as-is; the iterative strategy's mutual-NN pseudo-seed
+        decode escalates IVF probing until its top-1 is provably exact, and
+        ``iterative=True`` with ``candidates="lsh"`` is rejected because
+        LSH offers no such guarantee (pseudo-seeding would be silently
+        lossy).  The ``ann`` seed defaults to this config's ``seed``, so
+        one seed drives the sampler, the loader and the quantiser alike.
     """
 
     epochs: int = 120
@@ -151,12 +163,21 @@ class TrainingConfig:
     sampling: str = "full"
     fanouts: tuple[int | None, ...] | None = None
     eval_batch_size: int = DEFAULT_ENCODE_BATCH
+    candidates: str = "exhaustive"
+    ann: AnnConfig | None = None
     log_energy: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.sampling not in {"full", "neighbour"}:
             raise ValueError("sampling must be 'full' or 'neighbour'")
+        if self.candidates not in {"exhaustive", "ivf", "lsh"}:
+            raise ValueError("candidates must be 'exhaustive', 'ivf' or 'lsh'")
+        if self.iterative and self.candidates == "lsh":
+            raise ValueError(
+                "iterative pseudo-seeding needs a provably exact top-1, which "
+                "LSH candidates cannot offer; use candidates='ivf' (escalated "
+                "automatically) or 'exhaustive'")
         if self.early_stopping_patience > 0 and self.eval_every <= 0:
             raise ValueError(
                 "early stopping consumes periodic evaluations; set eval_every > 0")

@@ -17,7 +17,8 @@ from .config import DEFAULT_ENCODE_BATCH, DESAlignConfig
 from .encoder import EncoderOutput, MultiModalEncoder
 from .losses import LossBreakdown, MultiModalSemanticLoss
 from .propagation import PropagationResult, SemanticPropagation
-from .similarity import TopKSimilarity, blockwise_topk, resolve_decode
+from .ann import AnnConfig, generate_candidates, resolve_ann
+from .similarity import TopKSimilarity, blockwise_topk, resolve_candidates, resolve_decode
 from .task import PreparedTask
 
 __all__ = ["DESAlign"]
@@ -222,7 +223,9 @@ class DESAlign(Module):
     def decode_topk(self, use_propagation: bool = True, k: int = 10,
                     block_size: int | None = None, dtype=np.float64,
                     columns: np.ndarray | None = None, encode: str = "full",
-                    encode_batch_size: int | None = None) -> TopKSimilarity:
+                    encode_batch_size: int | None = None,
+                    candidates: str = "exhaustive",
+                    ann: AnnConfig | None = None) -> TopKSimilarity:
         """Streaming blockwise decode: exact top-``k`` neighbours per entity.
 
         Runs the same Semantic Propagation rounds as :meth:`decode` but
@@ -231,6 +234,10 @@ class DESAlign(Module):
         dense decoder needs per round.  ``encode="sampled"`` additionally
         computes the evaluation embeddings through batched subgraph
         forwards, so no stage touches the full graph at once.
+        ``candidates="ivf" | "lsh"`` restricts the stream to approximate
+        candidate sets generated over the (round-concatenated) evaluation
+        embeddings, dropping decode FLOPs below ``O(n_s · n_t)`` (see
+        :mod:`repro.core.ann`).
         """
         source_embeddings, target_embeddings = self._evaluation_embeddings(
             encode=encode, encode_batch_size=encode_batch_size)
@@ -246,13 +253,21 @@ class DESAlign(Module):
         else:
             source_states = [source_embeddings]
             target_states = [target_embeddings]
+        row_candidates = None
+        if candidates != "exhaustive":
+            row_candidates = generate_candidates(
+                candidates, source_states, target_states,
+                resolve_ann(ann, self.config.seed))
         return blockwise_topk(source_states, target_states, k=k,
-                              block_size=block_size, dtype=dtype, columns=columns)
+                              block_size=block_size, dtype=dtype, columns=columns,
+                              row_candidates=row_candidates)
 
     def similarity(self, use_propagation: bool = True, decode: str = "auto",
                    k: int = 10, block_size: int | None = None,
                    dtype=np.float64, encode: str = "full",
-                   encode_batch_size: int | None = None):
+                   encode_batch_size: int | None = None,
+                   candidates: str = "exhaustive",
+                   ann: AnnConfig | None = None):
         """Decoding similarity ``Ω`` used for evaluation.
 
         ``decode="dense"`` returns the full source×target matrix (the
@@ -263,13 +278,18 @@ class DESAlign(Module):
         switches to blockwise above it.  ``encode="sampled"`` computes the
         evaluation embeddings with batched subgraph forwards instead of one
         full-graph pass (the neighbour-sampled training pipeline's decode).
+        ``candidates="ivf" | "lsh"`` forces the blockwise path and restricts
+        it to approximate candidate sets (incompatible with an explicit
+        ``decode="dense"``).
         """
+        resolve_candidates(candidates, decode)
         shape = (self.task.source.num_entities, self.task.target.num_entities)
-        if resolve_decode(decode, shape) == "dense":
+        if candidates == "exhaustive" and resolve_decode(decode, shape) == "dense":
             return self.decode(
                 use_propagation=use_propagation, encode=encode,
                 encode_batch_size=encode_batch_size,
             ).final_similarity(average=self.config.propagation_average)
         return self.decode_topk(use_propagation=use_propagation, k=k,
                                 block_size=block_size, dtype=dtype, encode=encode,
-                                encode_batch_size=encode_batch_size)
+                                encode_batch_size=encode_batch_size,
+                                candidates=candidates, ann=ann)

@@ -35,11 +35,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .ann import (
+    AnnConfig,
+    RowCandidates,
+    _normalize_rows,
+    count_dot_products,
+    generate_candidates,
+)
+
 __all__ = [
     "TopKSimilarity",
     "blockwise_topk",
     "decode_similarity",
     "resolve_decode",
+    "resolve_candidates",
     "DEFAULT_BLOCK_SIZE",
     "DENSE_DECODE_CELL_LIMIT",
 ]
@@ -62,25 +71,44 @@ def resolve_decode(decode: str, shape: tuple[int, int],
     return "dense" if shape[0] * shape[1] <= cell_limit else "blockwise"
 
 
+def resolve_candidates(candidates: str, decode: str) -> None:
+    """Validate a ``candidates``/``decode`` switch combination.
+
+    Candidate generation only exists on the streaming path; pairing it with
+    an explicit dense decode is a contradiction and is rejected rather than
+    silently ignored (``decode="auto"`` routes to blockwise instead).
+    """
+    if candidates not in {"exhaustive", "ivf", "lsh"}:
+        raise ValueError("candidates must be 'exhaustive', 'ivf' or 'lsh'")
+    if candidates != "exhaustive" and decode == "dense":
+        raise ValueError(
+            f"candidates={candidates!r} restricts the streaming decode and is "
+            "incompatible with decode='dense'; use decode='blockwise' or 'auto'")
+
+
 def decode_similarity(source: np.ndarray, target: np.ndarray,
                       decode: str = "auto", k: int = 10,
-                      block_size: int | None = None, dtype=np.float64):
+                      block_size: int | None = None, dtype=np.float64,
+                      candidates: str = "exhaustive",
+                      ann: AnnConfig | None = None):
     """One-shot decode dispatch shared by models without a propagation decoder.
 
     Returns the dense cosine matrix or a streaming :func:`blockwise_topk`
     according to ``resolve_decode`` on the embedding shapes.
+    ``candidates="ivf" | "lsh"`` additionally restricts the streamed decode
+    to approximate candidate sets (see :mod:`repro.core.ann`), forcing the
+    blockwise path regardless of shape.
     """
+    resolve_candidates(candidates, decode)
+    if candidates != "exhaustive":
+        row_candidates = generate_candidates(candidates, source, target, ann)
+        return blockwise_topk(source, target, k=k, block_size=block_size,
+                              dtype=dtype, row_candidates=row_candidates)
     if resolve_decode(decode, (len(source), len(target))) == "dense":
         source_norm = _normalize_rows(source)
         target_norm = _normalize_rows(target)
         return source_norm @ target_norm.T
     return blockwise_topk(source, target, k=k, block_size=block_size, dtype=dtype)
-
-
-def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    matrix = np.asarray(matrix, dtype=np.float64)
-    norms = np.maximum(np.linalg.norm(matrix, axis=1, keepdims=True), 1e-12)
-    return matrix / norms
 
 
 def _as_state_list(states) -> list[np.ndarray]:
@@ -99,6 +127,13 @@ class TopKSimilarity:
     decode was restricted to a candidate subset, ``columns`` holds the
     (sorted) original target ids and ``indices`` refers to those original
     ids; the column-wise arrays are positional within ``columns``.
+
+    ``approximate`` marks a decode restricted to per-row candidate sets
+    (``row_candidates``): uncomputed cells are unknown, so the exact-row
+    fallbacks and the CSLS statistics are unavailable — consumers that
+    would be silently lossy raise instead.  ``computed_cells`` counts the
+    dot products the decode actually performed (the FLOPs proxy recorded
+    by the efficiency experiment and enforced by the scaling benchmark).
     """
 
     shape: tuple[int, int]
@@ -112,6 +147,8 @@ class TopKSimilarity:
     col_knn_mean: np.ndarray       # (n_cols,) CSLS r_S
     columns: np.ndarray | None = None
     dtype: np.dtype = np.dtype(np.float64)
+    approximate: bool = False
+    computed_cells: int = 0
     _source_norm: list[np.ndarray] = field(default_factory=list, repr=False)
     _target_norm: list[np.ndarray] = field(default_factory=list, repr=False)
 
@@ -127,7 +164,15 @@ class TopKSimilarity:
 
     def is_exhaustive(self) -> bool:
         """True when every decoded column is stored, i.e. top-k is the full row."""
-        return self.k >= self.num_columns
+        return not self.approximate and self.k >= self.num_columns
+
+    def _require_exact(self, operation: str) -> None:
+        if self.approximate:
+            raise ValueError(
+                f"{operation} needs every similarity cell, but this decode was "
+                "restricted to approximate candidate sets; decode with "
+                "candidates='exhaustive' (or, for mutual-NN pseudo-seeding, "
+                "an exact-escalation IVF decode)")
 
     # ------------------------------------------------------------------
     def row_scores(self, source_id: int) -> np.ndarray:
@@ -137,6 +182,7 @@ class TopKSimilarity:
         falls outside the stored top-``k``: the same round-averaged product
         the streaming pass computed, re-materialised for one row.
         """
+        self._require_exact("row_scores")
         row = np.zeros(self.num_columns, dtype=np.float64)
         for source_state, target_state in zip(self._source_norm, self._target_norm):
             row += np.asarray(source_state[source_id] @ target_state.T, dtype=np.float64)
@@ -160,6 +206,7 @@ class TopKSimilarity:
         means).  ``rows`` restricts the computation to a subset of source
         rows — the CSLS-ranked evaluation path only needs the test rows.
         """
+        self._require_exact("csls_scores")
         indices = self.indices if rows is None else self.indices[rows]
         scores = self.scores if rows is None else self.scores[rows]
         row_means = self.row_knn_mean if rows is None else self.row_knn_mean[rows]
@@ -174,6 +221,7 @@ class TopKSimilarity:
         The CSLS counterpart of :meth:`row_scores`, used as the evaluation
         fallback when a gold rank cannot be proven from the stored top-k.
         """
+        self._require_exact("csls_row")
         return (2.0 * self.row_scores(source_id)
                 - self.row_knn_mean[source_id]
                 - self.col_knn_mean)
@@ -219,7 +267,8 @@ def blockwise_topk(source, target, k: int = 10,
                    block_size: int | None = None,
                    dtype=np.float64,
                    csls_k: int = 10,
-                   columns: np.ndarray | None = None) -> TopKSimilarity:
+                   columns: np.ndarray | None = None,
+                   row_candidates: RowCandidates | None = None) -> TopKSimilarity:
     """Stream the (round-averaged) cosine similarity and reduce to top-k.
 
     Parameters
@@ -241,6 +290,13 @@ def blockwise_topk(source, target, k: int = 10,
     columns:
         Optional sorted array of target ids restricting the decode to a
         candidate subset (the restricted evaluation protocol).
+    row_candidates:
+        Optional per-row candidate sets from :mod:`repro.core.ann`; the
+        block loop then gathers only the candidate cells (a sparse gather
+        instead of full block matmuls), dropping decode FLOPs below
+        ``O(n_s · n_t)``.  A *complete* candidate set (every row holds
+        every column — e.g. IVF with ``nprobe == n_clusters``) dispatches
+        to the exhaustive GEMM path, reproducing it bit for bit.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -255,6 +311,26 @@ def blockwise_topk(source, target, k: int = 10,
     target_states = _as_state_list(target)
     if len(source_states) != len(target_states):
         raise ValueError("source and target must have the same number of rounds")
+
+    if row_candidates is not None:
+        if columns is not None:
+            raise ValueError(
+                "columns= and row_candidates= are mutually exclusive decode "
+                "restrictions")
+        if row_candidates.num_rows != np.asarray(source_states[0]).shape[0]:
+            raise ValueError("row_candidates row count must match the source rows")
+        if row_candidates.num_columns != np.asarray(target_states[0]).shape[0]:
+            raise ValueError("row_candidates column count must match the targets")
+        if row_candidates.is_complete():
+            # Probing everything is the exhaustive decode; take the identical
+            # GEMM path so the results match bit for bit.
+            row_candidates = None
+
+    if row_candidates is not None:
+        return _blockwise_topk_candidates(source_states, target_states,
+                                          row_candidates, k=k,
+                                          block_size=block_size, dtype=dtype,
+                                          csls_k=csls_k)
 
     if columns is not None:
         columns = np.asarray(columns, dtype=np.int64)
@@ -290,6 +366,7 @@ def blockwise_topk(source, target, k: int = 10,
 
     for start in range(0, num_source, block_size):
         stop = min(start + block_size, num_source)
+        count_dot_products((stop - start) * num_cols * num_rounds)
         block = source_norm[0][start:stop] @ target_norm[0].T
         for round_index in range(1, num_rounds):
             block = block + source_norm[round_index][start:stop] @ target_norm[round_index].T
@@ -347,6 +424,118 @@ def blockwise_topk(source, target, k: int = 10,
         col_knn_mean=col_knn_mean,
         columns=columns,
         dtype=dtype,
+        computed_cells=num_source * num_cols * num_rounds,
+        _source_norm=source_norm,
+        _target_norm=target_norm,
+    )
+
+
+def _blockwise_topk_candidates(source_states: list[np.ndarray],
+                               target_states: list[np.ndarray],
+                               row_candidates: RowCandidates,
+                               k: int, block_size: int, dtype,
+                               csls_k: int) -> TopKSimilarity:
+    """Candidate-restricted streaming decode (sparse gather per block).
+
+    Only the cells named by ``row_candidates`` are computed — a gathered
+    ``einsum`` per block instead of a block matmul — so FLOPs are
+    ``O(Σ_i |C_i| · d)``.  Row top-k and the running column max/argmax keep
+    the exhaustive engine's deterministic tie semantics *restricted to the
+    computed cells*; the result is flagged ``approximate`` and carries no
+    CSLS statistics (consumers refuse rather than degrade).
+    """
+    dtype = np.dtype(dtype)
+    source_norm = [_normalize_rows(state).astype(dtype, copy=False)
+                   for state in source_states]
+    target_norm = [_normalize_rows(state).astype(dtype, copy=False)
+                   for state in target_states]
+    num_source = source_norm[0].shape[0]
+    num_cols = target_norm[0].shape[0]
+    num_rounds = len(source_norm)
+    # No CSLS statistics exist on the candidate path, so only the requested
+    # k rows are kept (the exhaustive engine widens to csls_k).
+    k_keep = min(k, num_cols)
+    # Guarantee every row can fill its k_keep slots: deficient rows get the
+    # smallest missing column ids appended (a few exact extra dot products),
+    # so stored rows never contain padding sentinels.
+    row_candidates = row_candidates.padded(k_keep)
+    indptr, cand_indices = row_candidates.indptr, row_candidates.indices
+
+    indices = np.empty((num_source, k_keep), dtype=np.int64)
+    scores = np.empty((num_source, k_keep), dtype=np.float64)
+    col_max = np.full(num_cols, -np.inf, dtype=np.float64)
+    col_argmax = np.zeros(num_cols, dtype=np.int64)
+
+    for start in range(0, num_source, block_size):
+        stop = min(start + block_size, num_source)
+        num_rows = stop - start
+        lo, hi = indptr[start], indptr[stop]
+        cols = cand_indices[lo:hi]
+        counts = np.diff(indptr[start:stop + 1])
+        rows_local = np.repeat(np.arange(num_rows), counts)
+        count_dot_products(len(cols) * num_rounds)
+        values = np.zeros(len(cols), dtype=dtype)
+        for round_index in range(num_rounds):
+            values = values + np.einsum(
+                "ed,ed->e", source_norm[round_index][start + rows_local],
+                target_norm[round_index][cols])
+        values = np.asarray(values, dtype=np.float64)
+        if num_rounds > 1:
+            values = values / num_rounds
+
+        # (a) per-row top-k over the candidate cells.  Rows are padded into
+        # a (num_rows, width) matrix with -inf sentinels; every row holds at
+        # least k_keep real candidates, so sentinels are never selected.
+        width = int(counts.max()) if num_rows else 0
+        block = np.full((num_rows, width), -np.inf, dtype=np.float64)
+        cand_ids = np.zeros((num_rows, width), dtype=np.int64)
+        pos_in_row = np.arange(len(cols)) - np.repeat(np.cumsum(counts) - counts,
+                                                      counts)
+        block[rows_local, pos_in_row] = values
+        cand_ids[rows_local, pos_in_row] = cols
+        if k_keep < width:
+            part = np.argpartition(block, width - k_keep, axis=1)[:, width - k_keep:]
+        else:
+            part = np.broadcast_to(np.arange(width), block.shape).copy()
+        part_scores = np.take_along_axis(block, part, axis=1)
+        part_ids = np.take_along_axis(cand_ids, part, axis=1)
+        order = np.lexsort((part_ids, -part_scores))
+        indices[start:stop] = np.take_along_axis(part_ids, order, axis=1)
+        scores[start:stop] = np.take_along_axis(part_scores, order, axis=1)
+        # Candidates ascend within a row, so the padded matrix's argmax is
+        # the first-index maximiser over the computed cells — the same
+        # position-0 contract the exhaustive engine keeps for mutual-NN.
+        first = block.argmax(axis=1)
+        indices[start:stop, 0] = cand_ids[np.arange(num_rows), first]
+
+        # (b) running column max/argmax over the computed cells only.  Per
+        # column pick the block's best value with the lowest source row,
+        # then apply the strictly-greater cross-block update.
+        if len(cols):
+            group = np.lexsort((rows_local, -values, cols))
+            grouped_cols = cols[group]
+            leaders = np.ones(len(group), dtype=bool)
+            leaders[1:] = grouped_cols[1:] != grouped_cols[:-1]
+            lead = group[leaders]
+            lead_cols = cols[lead]
+            improved = values[lead] > col_max[lead_cols]
+            col_max[lead_cols[improved]] = values[lead][improved]
+            col_argmax[lead_cols[improved]] = start + rows_local[lead][improved]
+
+    return TopKSimilarity(
+        shape=(num_source, num_cols),
+        k=k_keep,
+        csls_k=csls_k,
+        indices=indices,
+        scores=scores,
+        col_max=col_max,
+        col_argmax=col_argmax,
+        row_knn_mean=np.full(num_source, np.nan),
+        col_knn_mean=np.full(num_cols, np.nan),
+        columns=None,
+        dtype=dtype,
+        approximate=True,
+        computed_cells=row_candidates.total * num_rounds,
         _source_norm=source_norm,
         _target_norm=target_norm,
     )

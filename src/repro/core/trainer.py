@@ -41,6 +41,7 @@ from ..eval.evaluator import Evaluator, filter_supported_kwargs
 from ..eval.metrics import AlignmentMetrics
 from ..nn import AdamW, CosineWarmupSchedule, EarlyStopping, GradientClipper
 from .alignment import mutual_nearest_pairs
+from .ann import AnnConfig, resolve_ann
 from .config import TrainingConfig
 from .energy import EnergyMonitor
 from .task import PreparedTask
@@ -123,6 +124,34 @@ class TrainingLoop:
     def record_energy(self, monitor: EnergyMonitor, epoch: int) -> None:
         """Log a Dirichlet-energy snapshot (no-op where it would defeat sampling)."""
 
+    # -- candidate generation -------------------------------------------
+    def resolved_ann(self) -> AnnConfig | None:
+        """The candidate-generation config with the training seed threaded in.
+
+        One ``TrainingConfig.seed`` must deterministically drive the
+        neighbour sampler, the batch loader *and* the k-means / hyperplane
+        initialisation, so an ``ann`` config without an explicit seed
+        inherits the training seed here.
+        """
+        if self.config.candidates == "exhaustive":
+            return None
+        return resolve_ann(self.config.ann, self.config.seed)
+
+    def pseudo_seed_decode_kwargs(self) -> dict:
+        """Decode keywords for the iterative mutual-NN pseudo-seed selection.
+
+        Approximate candidates are only admissible here when escalation
+        makes the per-row/per-column top-1 provably exact — IVF escalates,
+        LSH cannot (rejected at config construction).
+        """
+        if self.config.candidates == "exhaustive":
+            return {}
+        if self.config.candidates == "lsh":
+            raise ValueError(
+                "mutual-NN pseudo-seeding cannot run on LSH candidates")
+        ann = self.resolved_ann().with_overrides(exact_escalation=True)
+        return {"decode": "blockwise", "candidates": "ivf", "ann": ann}
+
     # -- shared skeleton ------------------------------------------------
     def evaluate(self) -> AlignmentMetrics:
         """Evaluate the model on the task's test split (timed)."""
@@ -189,7 +218,8 @@ class FullGraphLoop(TrainingLoop):
     name = "full"
 
     def _build_evaluator(self) -> Evaluator:
-        return Evaluator(self.task)
+        return Evaluator(self.task, candidates=self.config.candidates,
+                         ann=self.resolved_ann())
 
     def epoch_batches(self, pairs: np.ndarray):
         """Yield mini-batches of seed pairs (full batch when small enough)."""
@@ -207,7 +237,8 @@ class FullGraphLoop(TrainingLoop):
         # raised *inside* the decode surfaces instead of silently retrying
         # without propagation.
         kwargs = filter_supported_kwargs(self.model.similarity,
-                                         use_propagation=True)
+                                         use_propagation=True,
+                                         **self.pseudo_seed_decode_kwargs())
         return self.model.similarity(**kwargs)
 
     def record_energy(self, monitor: EnergyMonitor, epoch: int) -> None:
@@ -246,7 +277,9 @@ class NeighbourSampledLoop(TrainingLoop):
 
     def _build_evaluator(self) -> Evaluator:
         return Evaluator(self.task, decode="blockwise", encode="sampled",
-                         encode_batch_size=self.config.eval_batch_size)
+                         encode_batch_size=self.config.eval_batch_size,
+                         candidates=self.config.candidates,
+                         ann=self.resolved_ann())
 
     def epoch_batches(self, pairs: np.ndarray):
         loader = SeedPairLoader(pairs, self._source_sampler, self._target_sampler,
@@ -260,9 +293,11 @@ class NeighbourSampledLoop(TrainingLoop):
             source_local=batch.source_index, target_local=batch.target_index))
 
     def model_similarity(self):
-        return self.model.similarity(
-            use_propagation=True, decode="blockwise", encode="sampled",
-            encode_batch_size=self.config.eval_batch_size)
+        kwargs = {"use_propagation": True, "decode": "blockwise",
+                  "encode": "sampled",
+                  "encode_batch_size": self.config.eval_batch_size}
+        kwargs.update(self.pseudo_seed_decode_kwargs())
+        return self.model.similarity(**kwargs)
 
     # Recording energy would require a full-graph encoder pass, which this
     # strategy exists to avoid; record_energy stays the base no-op, and

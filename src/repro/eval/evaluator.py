@@ -44,7 +44,11 @@ class Evaluator:
     full-graph encoder pass (``encode="sampled"``, the neighbour-sampled
     training pipeline's inference path).  ``ranking="csls"`` ranks on
     CSLS-rescaled similarities — exactly, for dense and streaming decodes
-    alike.
+    alike.  ``candidates="ivf" | "lsh"`` (with an optional
+    :class:`~repro.core.ann.AnnConfig`) further restricts streaming decodes
+    to approximate candidate sets; such decodes are scored with honest
+    recall-style ranks and refuse CSLS ranking rather than degrade
+    silently.
     """
 
     task: PreparedTask
@@ -53,6 +57,8 @@ class Evaluator:
     encode: str = "full"
     encode_batch_size: int | None = None
     ranking: str = "cosine"
+    candidates: str = "exhaustive"
+    ann: object | None = None
 
     def evaluate_similarity(self, similarity) -> AlignmentMetrics:
         """Score a similarity matrix or top-k decode on the test pairs."""
@@ -67,11 +73,15 @@ class Evaluator:
         forwarded only when the model's signature accepts them (see
         :func:`filter_supported_kwargs`).
         """
-        candidates = {"use_propagation": use_propagation, "decode": self.decode,
-                      "encode": self.encode}
+        forwarded = {"use_propagation": use_propagation, "decode": self.decode,
+                     "encode": self.encode}
         if self.encode_batch_size is not None:
-            candidates["encode_batch_size"] = self.encode_batch_size
-        kwargs = filter_supported_kwargs(model.similarity, **candidates)
+            forwarded["encode_batch_size"] = self.encode_batch_size
+        if self.candidates != "exhaustive":
+            forwarded["candidates"] = self.candidates
+            if self.ann is not None:
+                forwarded["ann"] = self.ann
+        kwargs = filter_supported_kwargs(model.similarity, **forwarded)
         return self.evaluate_similarity(model.similarity(**kwargs))
 
 

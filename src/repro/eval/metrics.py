@@ -95,7 +95,19 @@ def ranks_from_similarity(similarity, test_pairs: np.ndarray,
 def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
                      restrict_candidates: bool = True,
                      ranking: str = "cosine") -> np.ndarray:
-    """Gold ranks from a streaming top-k decode (exact; see module docstring)."""
+    """Gold ranks from a streaming top-k decode (exact; see module docstring).
+
+    An ``approximate`` (candidate-restricted) decode has no exact-row
+    fallback: ranks come from the stored top-k alone and a gold outside it
+    ranks behind every candidate — the honest recall-style semantics of an
+    ANN decode.  CSLS ranking on such a decode would be silently lossy and
+    is refused.
+    """
+    if topk.approximate and ranking == "csls":
+        raise ValueError(
+            "CSLS ranking requires exact similarity statistics; this decode "
+            "was restricted to approximate candidate sets — decode with "
+            "candidates='exhaustive' for CSLS-ranked evaluation")
     num_target = topk.shape[1]
     if restrict_candidates:
         candidates = np.unique(test_pairs[:, 1])
@@ -159,6 +171,12 @@ def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
     ties_before = np.sum(kept_candidate & (kept_rank == gold_rank[:, None])
                          & (kept_ids < golds[:, None]), axis=1)
     ranks = (1 + better + ties_before).astype(np.int64)
+
+    if topk.approximate:
+        # No exact fallback exists: a gold the candidate generator missed
+        # ranks behind every candidate (a recall miss, not a silent guess).
+        ranks[~found] = len(candidates) + 1
+        return ranks
 
     # O(n_t) per-row fallback: gold outside the stored top-k or not provably
     # separated from it — re-materialise (and rescale) just those rows.

@@ -11,6 +11,10 @@ It additionally profiles the two similarity-decoding paths — the dense
 blockwise top-k engine — at several entity scales, recording wall-clock,
 tracemalloc peak allocation and the resident-set-size high-water mark, so
 ``results/efficiency.json`` captures the memory win of blockwise decoding.
+At the same scales it compares exhaustive streaming against the IVF / LSH
+candidate-generation layer, recording the FLOPs proxy (metered dot
+products as a fraction of ``n_s · n_t``) and the measured recall@1 /
+recall@10 of each approximate path against the exact decode.
 
 Finally it profiles the two *training* strategies — full-graph encoding on
 every step (``sampling="full"``) against neighbour-sampled mini-batches
@@ -36,6 +40,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 import numpy as np
 
 from ..core.alignment import cosine_similarity, csls_similarity, mutual_nearest_pairs
+from ..core.ann import AnnConfig, flops_counter, generate_candidates, recall_at_k
 from ..core.config import DESAlignConfig, TrainingConfig
 from ..core.model import DESAlign
 from ..core.propagation import SemanticPropagation
@@ -121,6 +126,59 @@ def _profile_decode_paths(result: ExperimentResult, dataset: str,
             peak_mb=round(peak_mb, 2),
             rss_mb=round(rss_mb, 1),
             mutual_pairs=pairs,
+        )
+
+
+def _topk_decode(source: np.ndarray, target: np.ndarray, candidates: str):
+    """One streamed top-k decode, exhaustive or candidate-restricted.
+
+    Returns ``(topk, metered_cells)`` with every dot product of the run —
+    index construction included — counted via :func:`flops_counter`.
+    """
+    with flops_counter() as counter:
+        row_candidates = None
+        if candidates != "exhaustive":
+            row_candidates = generate_candidates(
+                candidates, source, target, AnnConfig(seed=0))
+        topk = blockwise_topk(source, target, k=10, block_size=512,
+                              row_candidates=row_candidates)
+    return topk, counter.cells
+
+
+def _profile_ann_decode_paths(result: ExperimentResult, dataset: str,
+                              source: np.ndarray, target: np.ndarray,
+                              num_entities: int) -> None:
+    """Exhaustive vs approximate candidate generation on one embedding pair.
+
+    Records, per path, the decode wall-clock, tracemalloc peak, the FLOPs
+    proxy (metered dot products as a fraction of ``n_s · n_t``) and the
+    measured recall@1 / recall@10 against the exhaustive decode — the
+    honesty figures of the approximate layer.
+    """
+    total_cells = len(source) * len(target)
+    exact_topk: np.ndarray | None = None
+    for label, candidates in (("decode-topk-exhaustive", "exhaustive"),
+                              ("decode-topk-ivf", "ivf"),
+                              ("decode-topk-lsh", "lsh")):
+        (topk, cells), seconds, peak_mb, rss_mb = measure_peak_memory(
+            _topk_decode, source, target, candidates)
+        if exact_topk is None:
+            exact_topk = topk.indices
+            recall1 = recall10 = 1.0
+        else:
+            recall1 = recall_at_k(topk.indices, exact_topk, k=1)
+            recall10 = recall_at_k(topk.indices, exact_topk, k=10)
+        result.add_row(
+            dataset=dataset,
+            model=label,
+            entities=num_entities,
+            train_seconds=0.0,
+            decode_seconds=round(seconds, 4),
+            peak_mb=round(peak_mb, 2),
+            rss_mb=round(rss_mb, 1),
+            flops_fraction=round(cells / total_cells, 4),
+            recall1=round(recall1, 4),
+            recall10=round(recall10, 4),
         )
 
 
@@ -210,13 +268,16 @@ def run_efficiency(scale: ExperimentScale = QUICK_SCALE,
                               target_embeddings, task.source.num_entities)
 
     # ... and at larger synthetic scales, where the dense n x n pipeline's
-    # O(n²) peak dwarfs the O(block · n) streaming engine.
+    # O(n²) peak dwarfs the O(block · n) streaming engine, and where the
+    # approximate candidate layer starts cutting FLOPs on top of memory.
     hidden = scale.hidden_dim
     rng = np.random.default_rng(scale.seed)
     for num_entities in decode_scales:
         source = rng.normal(size=(num_entities, hidden))
         target = source + 0.1 * rng.normal(size=(num_entities, hidden))
         _profile_decode_paths(result, "synthetic", source, target, num_entities)
+        _profile_ann_decode_paths(result, "synthetic", source, target,
+                                  num_entities)
 
     # Training-path comparison: full-graph vs neighbour-sampled mini-batches
     # on a sparse pair beyond the dense backend's comfort zone.

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
+
+# Make the shared brute-force oracles (tests/oracles.py) importable from
+# every test module regardless of its subdirectory.
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.core.task import prepare_task
 from repro.data.synthetic import SyntheticPairConfig, generate_pair

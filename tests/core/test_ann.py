@@ -1,0 +1,350 @@
+"""Unit tests for the approximate candidate-generation layer (repro.core.ann)."""
+
+import numpy as np
+import pytest
+
+from oracles import reference_mutual_pairs, reference_topk
+from repro.core import DESAlign, DESAlignConfig
+from repro.core.alignment import cosine_similarity, mutual_nearest_pairs
+from repro.core.ann import (
+    AnnConfig,
+    IVFIndex,
+    RandomHyperplaneLSH,
+    RowCandidates,
+    flops_counter,
+    generate_candidates,
+    recall_at_k,
+)
+from repro.core.similarity import blockwise_topk, decode_similarity
+from repro.eval.evaluator import Evaluator
+from repro.eval.metrics import evaluate_alignment, ranks_from_similarity
+
+
+@pytest.fixture
+def clustered_embeddings():
+    """A noisy-copy geometry where ANN recall is meaningfully high."""
+    rng = np.random.default_rng(7)
+    source = rng.normal(size=(120, 12))
+    target = np.vstack([source + 0.15 * rng.normal(size=source.shape),
+                        rng.normal(size=(40, 12))])
+    return source, target
+
+
+class TestRowCandidates:
+    def test_from_pairs_dedupes_and_sorts(self):
+        cands = RowCandidates.from_pairs([1, 0, 1, 1], [5, 2, 3, 5],
+                                         num_rows=3, num_columns=6)
+        assert cands.row(0).tolist() == [2]
+        assert cands.row(1).tolist() == [3, 5]
+        assert cands.row(2).tolist() == []
+        assert cands.total == 3
+        assert cands.counts.tolist() == [1, 2, 0]
+
+    def test_complete_and_density(self):
+        cands = RowCandidates.complete(3, 4)
+        assert cands.is_complete()
+        assert cands.density == 1.0
+
+    def test_union(self):
+        a = RowCandidates.from_pairs([0, 1], [1, 2], 2, 4)
+        b = RowCandidates.from_pairs([0, 0], [1, 3], 2, 4)
+        merged = a.union(b)
+        assert merged.row(0).tolist() == [1, 3]
+        assert merged.row(1).tolist() == [2]
+
+    def test_transposed(self):
+        cands = RowCandidates.from_pairs([0, 0, 2], [1, 3, 0], 3, 4)
+        flipped = cands.transposed()
+        assert flipped.num_rows == 4
+        assert flipped.num_columns == 3
+        assert flipped.row(1).tolist() == [0]
+        assert flipped.row(0).tolist() == [2]
+
+    def test_padded_tops_up_deficient_rows(self):
+        cands = RowCandidates.from_pairs([0, 1], [4, 0], 2, 6)
+        padded = cands.padded(3)
+        assert padded.counts.min() == 3
+        assert padded.row(0).tolist() == [0, 1, 4]
+        assert padded.row(1).tolist() == [0, 1, 2]
+        # already-sufficient structures are returned unchanged
+        assert padded.padded(2) is padded
+
+    def test_padded_handles_out_of_window_and_empty_rows(self):
+        cands = RowCandidates.from_pairs([0, 2, 2], [50, 0, 1], 3, 60)
+        padded = cands.padded(3)
+        assert padded.row(0).tolist() == [0, 1, 50]
+        assert padded.row(1).tolist() == [0, 1, 2]      # was empty
+        assert padded.row(2).tolist() == [0, 1, 2]
+        # a floor above the column count clips to the full column set
+        assert RowCandidates.from_pairs([0], [1], 1, 4).padded(99).row(0).tolist() \
+            == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowCandidates(indptr=[0, 2], indices=[0, 9], num_columns=3)
+        with pytest.raises(ValueError):
+            RowCandidates(indptr=[1, 2], indices=[0], num_columns=3)
+
+
+class TestIVFIndex:
+    def test_buckets_partition_the_vectors(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=8, seed=0)
+        members = np.sort(index.bucket_indices)
+        assert np.array_equal(members, np.arange(len(target)))
+        for cluster in range(index.n_clusters):
+            bucket = index.bucket_indices[
+                index.bucket_indptr[cluster]:index.bucket_indptr[cluster + 1]]
+            assert np.all(index.assignments[bucket] == cluster)
+
+    def test_radii_cover_members(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=6, seed=1)
+        distances = np.linalg.norm(
+            target - index.centroids[index.assignments], axis=1)
+        for cluster in range(index.n_clusters):
+            mask = index.assignments == cluster
+            if mask.any():
+                assert distances[mask].max() <= index.radii[cluster] + 1e-12
+
+    def test_nprobe_grows_candidate_sets(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=8, seed=0)
+        narrow = index.candidates(source, nprobe=1)
+        wide = index.candidates(source, nprobe=4)
+        assert wide.total > narrow.total
+        # wider probing is a superset row by row
+        for row in range(5):
+            assert set(narrow.row(row)) <= set(wide.row(row))
+
+    def test_zero_kmeans_iters_keeps_random_centroids(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=6, kmeans_iters=0, seed=0)
+        # raw random-centroid bucketing still partitions every vector
+        assert np.array_equal(np.sort(index.bucket_indices), np.arange(len(target)))
+        rng = np.random.default_rng(0)
+        expected = target[rng.choice(len(target), size=6, replace=False)]
+        assert np.array_equal(index.centroids, expected)
+
+    def test_invalid_inputs(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        with pytest.raises(ValueError):
+            IVFIndex(np.empty((0, 3)))
+        index = IVFIndex(target, n_clusters=4, seed=0)
+        with pytest.raises(ValueError):
+            index.candidates(target[:3], nprobe=0)
+
+
+class TestLSH:
+    def test_candidates_contain_self_match(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = RandomHyperplaneLSH(target, tables=6, hyperplanes=8, seed=0)
+        cands = index.candidates(target)
+        # every vector collides with itself in every table
+        for row in range(len(target)):
+            assert row in cands.row(row)
+
+    def test_too_many_hyperplanes_rejected(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        with pytest.raises(ValueError):
+            RandomHyperplaneLSH(target, hyperplanes=63)
+
+
+class TestGenerateCandidates:
+    def test_unknown_method_rejected(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        with pytest.raises(ValueError):
+            generate_candidates("annoy", source, target)
+
+    def test_lsh_escalation_rejected(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        with pytest.raises(ValueError, match="escalation"):
+            generate_candidates("lsh", source, target,
+                                AnnConfig(exact_escalation=True))
+
+    def test_min_candidates_floor(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        cands = generate_candidates("ivf", source, target,
+                                    AnnConfig(seed=0, nprobe=1, min_candidates=25))
+        assert cands.counts.min() >= 25
+
+    def test_multi_round_states_supported(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        rng = np.random.default_rng(3)
+        sources = [source, source + 0.01 * rng.normal(size=source.shape)]
+        targets = [target, target + 0.01 * rng.normal(size=target.shape)]
+        cands = generate_candidates("ivf", sources, targets, AnnConfig(seed=0))
+        assert cands.num_rows == len(source)
+        assert cands.num_columns == len(target)
+
+
+class TestCandidateDecode:
+    def test_scores_match_exact_on_kept_entries(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        dense = cosine_similarity(source, target)
+        cands = generate_candidates("ivf", source, target,
+                                    AnnConfig(seed=0, nprobe=3))
+        topk = blockwise_topk(source, target, k=5, block_size=17,
+                              row_candidates=cands)
+        assert topk.approximate
+        rows = np.arange(topk.shape[0])[:, None]
+        assert np.allclose(topk.scores, dense[rows, topk.indices], atol=1e-12)
+        # stored ids are candidates of their row
+        for row in range(topk.shape[0]):
+            assert set(topk.indices[row]) <= set(cands.padded(topk.k).row(row))
+
+    def test_escalated_decode_top1_is_exact(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        exact = blockwise_topk(source, target, k=5)
+        cands = generate_candidates("ivf", source, target,
+                                    AnnConfig(seed=0, exact_escalation=True))
+        approx = blockwise_topk(source, target, k=5, row_candidates=cands)
+        assert recall_at_k(approx.indices, exact.indices, k=1) == 1.0
+
+    def test_escalated_mutual_pairs_match_dense(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        dense = cosine_similarity(source, target)
+        cands = generate_candidates("ivf", source, target,
+                                    AnnConfig(seed=2, exact_escalation=True))
+        approx = blockwise_topk(source, target, k=5, row_candidates=cands)
+        assert approx.mutual_nearest_pairs() == reference_mutual_pairs(dense)
+        assert mutual_nearest_pairs(approx) == reference_mutual_pairs(dense)
+
+    def test_full_probing_short_circuits_to_none(self, clustered_embeddings):
+        """nprobe >= n_clusters is the exhaustive decode: no O(n_s * n_t)
+        candidate structure is ever materialised."""
+        source, target = clustered_embeddings
+        cands = generate_candidates("ivf", source, target,
+                                    AnnConfig(seed=0, n_clusters=5, nprobe=5))
+        assert cands is None
+        assert generate_candidates(
+            "ivf", source, target,
+            AnnConfig(seed=0, n_clusters=5, nprobe=99)) is None
+
+    def test_complete_candidates_dispatch_to_exhaustive_bitwise(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        exact = blockwise_topk(source, target, k=7, block_size=23)
+        index = IVFIndex(target, n_clusters=5, seed=0)
+        cands = index.candidates(source, nprobe=5)
+        assert cands.is_complete()
+        via_candidates = blockwise_topk(source, target, k=7, block_size=23,
+                                        row_candidates=cands)
+        assert not via_candidates.approximate
+        assert np.array_equal(via_candidates.scores, exact.scores)
+        assert np.array_equal(via_candidates.indices, exact.indices)
+        assert np.array_equal(via_candidates.col_argmax, exact.col_argmax)
+
+    def test_lossy_consumers_refuse(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        cands = generate_candidates("ivf", source, target, AnnConfig(seed=0))
+        approx = blockwise_topk(source, target, k=5, row_candidates=cands)
+        pairs = np.stack([np.arange(30), np.arange(30)], axis=1)
+        with pytest.raises(ValueError, match="candidate"):
+            approx.csls_scores()
+        with pytest.raises(ValueError, match="candidate"):
+            approx.csls_row(0)
+        with pytest.raises(ValueError, match="candidate"):
+            approx.row_scores(0)
+        with pytest.raises(ValueError, match="candidate"):
+            approx.dense()
+        with pytest.raises(ValueError, match="CSLS"):
+            ranks_from_similarity(approx, pairs, ranking="csls")
+
+    def test_missing_gold_ranks_behind_every_candidate(self):
+        source = np.eye(4)
+        target = np.eye(4)
+        # row 0 only sees columns {1}, so its gold (0) is a recall miss
+        cands = RowCandidates.from_pairs([0, 1, 2, 3], [1, 1, 2, 3], 4, 4)
+        topk = blockwise_topk(source, target, k=1, csls_k=1, row_candidates=cands)
+        ranks = ranks_from_similarity(topk, np.array([[0, 0], [2, 2]]),
+                                      restrict_candidates=False)
+        assert ranks[0] == 5           # behind all four candidates
+        assert ranks[1] == 1
+
+    def test_columns_and_candidates_mutually_exclusive(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        cands = generate_candidates("ivf", source, target, AnnConfig(seed=0))
+        with pytest.raises(ValueError):
+            blockwise_topk(source, target, k=3, columns=np.array([0, 1]),
+                           row_candidates=cands)
+
+    def test_flops_counter_reports_subquadratic_work(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        with flops_counter() as counter:
+            cands = generate_candidates("lsh", source, target, AnnConfig(seed=0))
+            topk = blockwise_topk(source, target, k=5, row_candidates=cands)
+        cells = topk.shape[0] * topk.shape[1]
+        assert 0 < topk.computed_cells < cells
+        assert counter.cells < 2 * cells
+
+
+class TestRecallAtK:
+    def test_perfect_and_partial_overlap(self):
+        exact = np.array([[0, 1], [2, 3]])
+        assert recall_at_k(exact, exact, k=2) == 1.0
+        approx = np.array([[0, 9], [9, 8]])
+        assert recall_at_k(approx, exact, k=2) == 0.25
+        assert recall_at_k(approx, exact, k=1) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(3), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestDecodeDispatch:
+    def test_decode_similarity_candidates(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        topk = decode_similarity(source, target, decode="blockwise", k=5,
+                                 candidates="ivf", ann=AnnConfig(seed=0))
+        assert topk.approximate
+        with pytest.raises(ValueError):
+            decode_similarity(source, target, decode="dense", candidates="ivf")
+        with pytest.raises(ValueError):
+            decode_similarity(source, target, candidates="faiss")
+
+    def test_model_similarity_candidates(self, tiny_task):
+        model = DESAlign(tiny_task, DESAlignConfig(hidden_dim=16, seed=0))
+        exact = model.similarity(decode="blockwise", k=10)
+        approx = model.similarity(candidates="ivf",
+                                  ann=AnnConfig(nprobe=2, seed=0))
+        assert approx.approximate
+        assert recall_at_k(approx.indices, exact.indices, k=1) > 0.3
+        escalated = model.similarity(
+            candidates="ivf", ann=AnnConfig(exact_escalation=True, seed=0))
+        assert recall_at_k(escalated.indices, exact.indices, k=1) == 1.0
+        with pytest.raises(ValueError):
+            model.similarity(decode="dense", candidates="ivf")
+
+    def test_model_ann_seed_defaults_to_model_seed(self, tiny_task):
+        model = DESAlign(tiny_task, DESAlignConfig(hidden_dim=16, seed=3))
+        first = model.similarity(candidates="ivf")
+        second = model.similarity(candidates="ivf")
+        assert np.array_equal(first.indices, second.indices)
+        assert np.array_equal(first.scores, second.scores)
+
+    def test_evaluator_candidates(self, tiny_task):
+        model = DESAlign(tiny_task, DESAlignConfig(hidden_dim=16, seed=0))
+        exact = Evaluator(tiny_task, decode="blockwise").evaluate_model(model)
+        approx = Evaluator(tiny_task, decode="blockwise", candidates="ivf",
+                           ann=AnnConfig(exact_escalation=True, seed=0)
+                           ).evaluate_model(model)
+        # escalated top-1 is provably exact, so H@1 cannot degrade
+        assert approx.hits_at_1 == exact.hits_at_1
+        with pytest.raises(ValueError, match="CSLS"):
+            Evaluator(tiny_task, decode="blockwise", candidates="ivf",
+                      ranking="csls").evaluate_model(model)
+
+    def test_baseline_similarity_candidates(self, tiny_task):
+        from repro.baselines import build_model
+
+        model = build_model("EVA", tiny_task)
+        exact = model.similarity(decode="blockwise", k=10)
+        narrow = model.similarity(decode="blockwise", k=10, candidates="ivf",
+                                  ann=AnnConfig(nprobe=1, seed=0))
+        assert narrow.approximate
+        assert narrow.computed_cells < exact.computed_cells
+        escalated = model.similarity(decode="blockwise", k=10, candidates="ivf",
+                                     ann=AnnConfig(exact_escalation=True, seed=0))
+        assert recall_at_k(escalated.indices, exact.indices, k=1) == 1.0

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from oracles import reference_csls, reference_mutual_pairs, reference_topk
 from repro.core import DESAlign, DESAlignConfig
 from repro.core.alignment import (
     cosine_similarity,
@@ -55,9 +56,8 @@ class TestBlockwiseTopK:
         dense = cosine_similarity(source, target)
         for block_size in (1, 4, 23, 100):
             topk = blockwise_topk(source, target, k=6, block_size=block_size)
-            for row in range(23):
-                order = np.argsort(-dense[row])[:topk.k]
-                assert np.allclose(topk.scores[row], dense[row][order], atol=1e-12)
+            _, expected_scores = reference_topk(dense, topk.k)
+            assert np.allclose(topk.scores, expected_scores, atol=1e-12)
             assert np.array_equal(topk.col_argmax, dense.argmax(axis=0))
             assert np.allclose(topk.col_max, dense.max(axis=0), atol=1e-12)
 
@@ -102,9 +102,9 @@ class TestBlockwiseTopK:
         columns = np.array([0, 2, 5, 11, 16])
         topk = blockwise_topk(source, target, k=3, block_size=4, columns=columns)
         dense = cosine_similarity(source, target)[:, columns]
+        _, expected_scores = reference_topk(dense, topk.k)
+        assert np.allclose(topk.scores, expected_scores, atol=1e-12)
         for row in range(23):
-            order = np.argsort(-dense[row])[:topk.k]
-            assert np.allclose(topk.scores[row], dense[row][order], atol=1e-12)
             assert set(topk.indices[row]) <= set(columns.tolist())
         assert topk.shape == (23, 17)
 
@@ -127,7 +127,7 @@ class TestTopKReductions:
     def test_csls_scores_match_dense_kept_entries(self, embeddings):
         source, target = embeddings
         topk = blockwise_topk(source, target, k=4, block_size=6, csls_k=5)
-        dense_csls = csls_similarity(cosine_similarity(source, target), k=5)
+        dense_csls = reference_csls(cosine_similarity(source, target), k=5)
         rows = np.arange(topk.shape[0])[:, None]
         assert np.allclose(topk.csls_scores(), dense_csls[rows, topk.indices],
                            atol=1e-12)
@@ -138,17 +138,17 @@ class TestTopKReductions:
         dense = cosine_similarity(source, target)
         for threshold in (-1.0, 0.0, 0.25):
             assert topk.mutual_nearest_pairs(threshold) == \
-                mutual_nearest_pairs(dense, threshold)
+                reference_mutual_pairs(dense, threshold)
         assert topk.mutual_nearest_pairs(0.0, exclude_source={0, 3},
                                          exclude_target={1}) == \
-            mutual_nearest_pairs(dense, 0.0, exclude_source={0, 3},
-                                 exclude_target={1})
+            reference_mutual_pairs(dense, 0.0, exclude_source={0, 3},
+                                   exclude_target={1})
 
     def test_dispatch_through_alignment_helper(self, embeddings):
         source, target = embeddings
         topk = blockwise_topk(source, target, k=2, block_size=5)
         dense = cosine_similarity(source, target)
-        assert mutual_nearest_pairs(topk) == mutual_nearest_pairs(dense)
+        assert mutual_nearest_pairs(topk) == reference_mutual_pairs(dense)
 
     def test_full_matrix_helpers_reject_topk_with_guidance(self, embeddings):
         source, target = embeddings

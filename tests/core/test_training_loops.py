@@ -131,6 +131,76 @@ class TestNeighbourSampledTraining:
         assert result.history.pseudo_pairs[0] >= 0
 
 
+class TestCandidateDecodeThreading:
+    def test_lsh_candidates_rejected_for_iterative_training(self):
+        with pytest.raises(ValueError, match="lsh|LSH"):
+            TrainingConfig(iterative=True, candidates="lsh")
+        with pytest.raises(ValueError):
+            TrainingConfig(candidates="faiss")
+
+    def test_pseudo_seed_decode_escalates_ivf(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        config = TrainingConfig(epochs=2, eval_every=0, seed=4,
+                                candidates="ivf")
+        trainer = Trainer(model, tiny_task, config)
+        kwargs = trainer.loop.pseudo_seed_decode_kwargs()
+        assert kwargs["candidates"] == "ivf"
+        assert kwargs["ann"].exact_escalation
+        assert kwargs["ann"].seed == 4          # inherited from TrainingConfig
+        similarity = trainer.loop.model_similarity()
+        assert isinstance(similarity, TopKSimilarity)
+
+    def test_exhaustive_config_adds_no_decode_kwargs(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        trainer = Trainer(model, tiny_task,
+                          TrainingConfig(epochs=2, eval_every=0, seed=0))
+        assert trainer.loop.pseudo_seed_decode_kwargs() == {}
+        assert trainer.loop.resolved_ann() is None
+
+    def test_training_with_ivf_evaluation_completes(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        result = Trainer(model, tiny_task,
+                         TrainingConfig(epochs=4, eval_every=2, seed=0,
+                                        candidates="ivf")).fit()
+        assert len(result.history.evaluations) == 2
+        assert 0.0 <= result.metrics.hits_at_1 <= 1.0
+
+
+class TestSeedDeterminism:
+    """One TrainingConfig.seed drives sampler, loader and k-means alike."""
+
+    @staticmethod
+    def _run(tiny_task, quick_config, **overrides):
+        config = TrainingConfig(epochs=4, eval_every=2, seed=11, batch_size=6,
+                                **overrides)
+        model = DESAlign(tiny_task, quick_config)
+        return Trainer(model, tiny_task, config).fit()
+
+    def test_repeat_run_equality_neighbour_ivf(self, tiny_task, quick_config):
+        """Regression: repeated runs must agree bit for bit — losses, every
+        periodic (IVF-decoded) evaluation, pseudo-seed counts and metrics."""
+        overrides = dict(sampling="neighbour", fanouts=(3, 3),
+                         candidates="ivf", iterative=True,
+                         iterative_rounds=1, iterative_epochs=2)
+        first = self._run(tiny_task, quick_config, **overrides)
+        second = self._run(tiny_task, quick_config, **overrides)
+        assert first.history.losses == second.history.losses
+        assert first.history.pseudo_pairs == second.history.pseudo_pairs
+        assert [e for e, _ in first.history.evaluations] == \
+            [e for e, _ in second.history.evaluations]
+        for (_, a), (_, b) in zip(first.history.evaluations,
+                                  second.history.evaluations):
+            assert a.as_dict() == b.as_dict()
+        assert first.metrics.as_dict() == second.metrics.as_dict()
+
+    def test_repeat_run_equality_full_graph_ivf(self, tiny_task, quick_config):
+        overrides = dict(candidates="ivf")
+        first = self._run(tiny_task, quick_config, **overrides)
+        second = self._run(tiny_task, quick_config, **overrides)
+        assert first.history.losses == second.history.losses
+        assert first.metrics.as_dict() == second.metrics.as_dict()
+
+
 class TestEvaluationCadence:
     def test_early_stopping_respects_eval_every(self, tiny_task, quick_config):
         """Regression: early stopping used to force an evaluation every epoch."""

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.alignment import cosine_similarity, csls_similarity
+from oracles import reference_csls
+from repro.core.alignment import cosine_similarity
 from repro.core.similarity import blockwise_topk
 from repro.eval.evaluator import Evaluator
 from repro.eval.metrics import evaluate_alignment, ranks_from_similarity
@@ -23,7 +24,7 @@ class TestDenseCSLSRanking:
     def test_dense_ranking_equals_explicit_csls_matrix(self):
         source, target, pairs = _random_case(seed=1)
         similarity = cosine_similarity(source, target)
-        expected = ranks_from_similarity(csls_similarity(similarity, k=10), pairs)
+        expected = ranks_from_similarity(reference_csls(similarity, k=10), pairs)
         got = ranks_from_similarity(similarity, pairs, ranking="csls", csls_k=10)
         assert np.array_equal(got, expected)
 
@@ -41,7 +42,7 @@ class TestStreamingCSLSRanking:
         """Exact for any k: small k exercises the bound + fallback path."""
         source, target, pairs = _random_case(seed=3)
         similarity = cosine_similarity(source, target)
-        expected = ranks_from_similarity(csls_similarity(similarity, k=10), pairs,
+        expected = ranks_from_similarity(reference_csls(similarity, k=10), pairs,
                                          restrict_candidates=restrict)
         topk = blockwise_topk(source, target, k=k, block_size=7, csls_k=10)
         got = ranks_from_similarity(topk, pairs, restrict_candidates=restrict,
@@ -51,7 +52,7 @@ class TestStreamingCSLSRanking:
     def test_metrics_match_dense_csls(self):
         source, target, pairs = _random_case(seed=4)
         similarity = cosine_similarity(source, target)
-        dense = evaluate_alignment(csls_similarity(similarity, k=10), pairs)
+        dense = evaluate_alignment(reference_csls(similarity, k=10), pairs)
         streamed = evaluate_alignment(
             blockwise_topk(source, target, k=5, block_size=11), pairs,
             ranking="csls")
@@ -68,7 +69,7 @@ class TestStreamingCSLSRanking:
         source[7] = source[0]
         pairs = np.stack([np.arange(num), rng.permutation(num)], axis=1)
         similarity = cosine_similarity(source, target)
-        expected = ranks_from_similarity(csls_similarity(similarity, k=4), pairs)
+        expected = ranks_from_similarity(reference_csls(similarity, k=4), pairs)
         topk = blockwise_topk(source, target, k=3, block_size=5, csls_k=4)
         got = ranks_from_similarity(topk, pairs, ranking="csls")
         assert np.array_equal(got, expected)

@@ -20,6 +20,12 @@ Two input regimes are exercised:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from oracles import (
+    reference_csls,
+    reference_mutual_pairs,
+    reference_ranks,
+    reference_topk,
+)
 from repro.core.alignment import (
     cosine_similarity,
     csls_similarity,
@@ -70,7 +76,7 @@ class TestExactTieEquivalence:
     @given(exact_tie_case())
     def test_csls_kept_values_match_dense_exactly(self, case):
         source, target, k, block_size, csls_k, _ = case
-        dense_csls = csls_similarity(cosine_similarity(source, target), k=csls_k)
+        dense_csls = reference_csls(cosine_similarity(source, target), k=csls_k)
         topk = blockwise_topk(source, target, k=k, block_size=block_size,
                               csls_k=csls_k)
         rows = np.arange(topk.shape[0])[:, None]
@@ -84,11 +90,11 @@ class TestExactTieEquivalence:
         topk = blockwise_topk(source, target, k=k, block_size=block_size,
                               csls_k=csls_k)
         assert topk.mutual_nearest_pairs(threshold) == \
-            mutual_nearest_pairs(dense, threshold)
+            reference_mutual_pairs(dense, threshold)
         exclude_source = {int(test_pairs[0, 0])}
         exclude_target = {int(test_pairs[0, 1])}
         assert topk.mutual_nearest_pairs(threshold, exclude_source, exclude_target) \
-            == mutual_nearest_pairs(dense, threshold, exclude_source, exclude_target)
+            == reference_mutual_pairs(dense, threshold, exclude_source, exclude_target)
 
     @SETTINGS
     @given(exact_tie_case())
@@ -130,9 +136,8 @@ class TestContinuousEquivalence:
         source, target, k, block_size = case
         dense = cosine_similarity(source, target)
         topk = blockwise_topk(source, target, k=k, block_size=block_size)
-        for row in range(dense.shape[0]):
-            expected = np.sort(dense[row])[::-1][:topk.k]
-            assert np.allclose(topk.scores[row], expected, atol=1e-12)
+        _, expected_scores = reference_topk(dense, topk.k)
+        assert np.allclose(topk.scores, expected_scores, atol=1e-12)
         assert np.allclose(topk.col_max, dense.max(axis=0), atol=1e-12)
         assert np.allclose(topk.dense(), dense, atol=1e-12)
 
@@ -152,27 +157,6 @@ class TestContinuousEquivalence:
         assert np.array_equal(ranks_from_similarity(topk, pairs),
                               ranks_from_similarity(dense, pairs))
         assert topk.mutual_nearest_pairs() == mutual_nearest_pairs(dense)
-
-
-def _ranks_reference_loop(similarity, test_pairs, restrict_candidates=True):
-    """The historical per-test-pair Python loop, kept as a semantics oracle."""
-    similarity = np.asarray(similarity, dtype=np.float64)
-    test_pairs = np.asarray(test_pairs, dtype=np.int64)
-    if restrict_candidates:
-        candidates = np.unique(test_pairs[:, 1])
-    else:
-        candidates = np.arange(similarity.shape[1])
-    candidate_position = {int(t): i for i, t in enumerate(candidates)}
-    scores = similarity[:, candidates]
-    ranks = np.zeros(len(test_pairs), dtype=np.int64)
-    for row, (source_id, target_id) in enumerate(test_pairs):
-        gold_column = candidate_position[int(target_id)]
-        row_scores = scores[source_id]
-        gold_score = row_scores[gold_column]
-        better = np.sum(row_scores > gold_score)
-        ties_before = np.sum((row_scores == gold_score)[:gold_column])
-        ranks[row] = 1 + better + ties_before
-    return ranks
 
 
 @st.composite
@@ -198,18 +182,27 @@ class TestVectorisedHelpers:
         similarity, test_pairs = case
         assert np.array_equal(
             ranks_from_similarity(similarity, test_pairs, restrict),
-            _ranks_reference_loop(similarity, test_pairs, restrict))
+            reference_ranks(similarity, test_pairs, restrict))
 
     @SETTINGS
     @given(similarity_and_pairs(), st.integers(min_value=1, max_value=20))
     def test_partitioned_csls_bit_identical_to_full_sort(self, case, k):
         similarity, _ = case
-        k_row = min(k, similarity.shape[1])
-        k_col = min(k, similarity.shape[0])
-        row_mean = np.sort(similarity, axis=1)[:, -k_row:].mean(axis=1, keepdims=True)
-        col_mean = np.sort(similarity, axis=0)[-k_col:, :].mean(axis=0, keepdims=True)
-        expected = 2.0 * similarity - row_mean - col_mean
-        assert np.array_equal(csls_similarity(similarity, k=k), expected)
+        assert np.array_equal(csls_similarity(similarity, k=k),
+                              reference_csls(similarity, k=k))
+
+    @SETTINGS
+    @given(similarity_and_pairs(), st.sampled_from([-0.5, 0.0, 0.3]))
+    def test_vectorised_mutual_pairs_match_scan_reference(self, case, threshold):
+        similarity, test_pairs = case
+        assert mutual_nearest_pairs(similarity, threshold) == \
+            reference_mutual_pairs(similarity, threshold)
+        exclude_source = {int(test_pairs[0, 0])}
+        exclude_target = {int(test_pairs[0, 1])}
+        assert mutual_nearest_pairs(similarity, threshold, exclude_source,
+                                    exclude_target) == \
+            reference_mutual_pairs(similarity, threshold, exclude_source,
+                                   exclude_target)
 
     @SETTINGS
     @given(similarity_and_pairs())

@@ -1,10 +1,12 @@
 """Tests for the command-line interface."""
 
+import functools
 import json
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import list_experiments, registry
 
 
 class TestParser:
@@ -52,3 +54,72 @@ class TestCommands:
         payload = json.loads(output_path.read_text())
         assert payload["experiment"] == "fig4"
         assert payload["rows"]
+
+    def test_train_command_with_ivf_candidates(self, capsys):
+        exit_code = main(["train", "--model", "DESAlign", "--dataset", "FBDB15K",
+                          "--entities", "40", "--epochs", "2",
+                          "--candidates", "ivf"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "model=DESAlign" in output
+        assert "H@1=" in output
+
+    def test_train_rejects_unknown_candidates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--candidates", "faiss"])
+
+
+#: Per-experiment grid reductions for the CLI smoke run: same runners, same
+#: code paths, but one dataset / ratio / model row each so the whole registry
+#: smokes in seconds.  Keys must cover the registry exactly (guard below).
+SMOKE_KWARGS = {
+    "table2": dict(datasets=("FBDB15K",), text_ratios=(0.4,),
+                   models=("EVA", "DESAlign")),
+    "table3": dict(datasets=("DBP15K_FR_EN",), image_ratios=(0.2,),
+                   models=("DESAlign",)),
+    "table4": dict(datasets=("FBDB15K",), seed_ratios=(0.3,),
+                   basic_models=("GCN-align", "DESAlign"),
+                   include_iterative=False),
+    "table5": dict(datasets=("DBP15K_JA_EN",), non_iterative_models=("EVA",),
+                   include_iterative=False),
+    "table6_efficiency": dict(models=("DESAlign",), decode_scales=(120,),
+                              train_entities=60),
+    "fig3_left": dict(variants=("full", "w/o PP")),
+    "fig3_right": dict(datasets=("FBDB15K",), seed_ratios=(0.2,),
+                       models=("DESAlign",)),
+    "fig4": dict(settings=(("FBDB15K", 0.3, None),), iteration_grid=(0, 1)),
+    "fig_energy": dict(),
+}
+
+
+class TestExperimentRegistrySmoke:
+    def test_smoke_grid_covers_the_whole_registry(self):
+        assert set(SMOKE_KWARGS) == set(registry.EXPERIMENTS)
+
+    def test_every_registry_entry_is_well_formed(self):
+        for experiment_id, (runner, description) in registry.EXPERIMENTS.items():
+            assert callable(runner), experiment_id
+            assert isinstance(description, str) and description, experiment_id
+        listed = dict(list_experiments())
+        assert set(listed) == set(registry.EXPERIMENTS)
+
+    @pytest.mark.parametrize("experiment_id",
+                             [key for key, _ in list_experiments()])
+    def test_cli_smoke_runs_every_registered_experiment(
+            self, experiment_id, capsys, tmp_path, monkeypatch):
+        runner, description = registry.EXPERIMENTS[experiment_id]
+        reduced = functools.partial(runner, **SMOKE_KWARGS[experiment_id])
+        monkeypatch.setitem(registry.EXPERIMENTS, experiment_id,
+                            (reduced, description))
+        output_path = tmp_path / f"{experiment_id}.json"
+        exit_code = main(["experiment", experiment_id,
+                          "--entities", "32", "--epochs", "1",
+                          "--output", str(output_path)])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip()
+        payload = json.loads(output_path.read_text())
+        assert payload["rows"], experiment_id
+        for row in payload["rows"]:
+            for key in ("H@1", "H@10", "MRR"):
+                if key in row:
+                    assert 0.0 <= row[key] <= 100.0
