@@ -3,9 +3,10 @@
 Section V-E of the paper points out that Semantic Propagation involves no
 learning — it is a linear, CPU-friendly post-processing step — and can
 therefore be bolted onto *any* existing aligner's embeddings.  This example
-trains the MEAformer baseline, then decodes its embeddings (a) with plain
-cosine similarity and (b) through Semantic Propagation, and reports the
-difference on a split with many missing images.
+fits the MEAformer baseline through the pipeline facade, then decodes its
+embeddings (a) with plain cosine similarity and (b) through Semantic
+Propagation, and reports the difference on a split with many missing
+images.
 
 It also sweeps the number of propagation rounds, regenerating the shape of
 the paper's Figure 4 for a model the propagation was never trained with.
@@ -13,31 +14,46 @@ the paper's Figure 4 for a model the propagation was never trained with.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro import Evaluator, Trainer, TrainingConfig, load_benchmark, prepare_task
-from repro.autograd import no_grad
-from repro.baselines import MEAformer
+from repro import (
+    AlignmentPipeline,
+    DataSpec,
+    DecodeSpec,
+    Evaluator,
+    ModelSpec,
+    PipelineSpec,
+    TrainingConfig,
+)
 from repro.core import SemanticPropagation
 from repro.experiments import format_table
 
+FAST = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+
+NUM_ENTITIES = 50 if FAST else 100
+EPOCHS = 8 if FAST else 60
+MAX_ROUNDS = 3 if FAST else 6
+
 
 def main() -> None:
-    pair = load_benchmark("FBDB15K", seed_ratio=0.3, num_entities=100,
-                          image_ratio=0.2, text_ratio=0.3)
-    task = prepare_task(pair, seed=0)
-    evaluator = Evaluator(task)
+    spec = PipelineSpec(
+        data=DataSpec(dataset="FBDB15K", seed_ratio=0.3,
+                      num_entities=NUM_ENTITIES, image_ratio=0.2,
+                      text_ratio=0.3),
+        model=ModelSpec(name="MEAformer"),
+        training=TrainingConfig(epochs=EPOCHS, eval_every=0, seed=0),
+        decode=DecodeSpec(use_propagation=False),
+    )
+    aligner = AlignmentPipeline.from_spec(spec).fit()
+    print(f"MEAformer with plain cosine decoding: {aligner.metrics}")
 
-    model = MEAformer(task)
-    Trainer(model, task, TrainingConfig(epochs=60, eval_every=0, seed=0)).fit()
-    baseline_metrics = evaluator.evaluate_model(model)
-    print(f"MEAformer with plain cosine decoding: {baseline_metrics}")
-
-    # Pull the trained joint embeddings out of the baseline and identify the
-    # semantically consistent entities to act as propagation boundaries.
-    with no_grad():
-        source_embeddings = model.joint_embedding("source").numpy()
-        target_embeddings = model.joint_embedding("target").numpy()
+    # Pull the trained joint embeddings out of the fitted aligner and
+    # identify the semantically consistent entities to act as propagation
+    # boundaries.
+    task = aligner.task
+    [source_embeddings], [target_embeddings] = aligner.decode_states()
     source_consistent, _, _ = task.source.features.consistency_partition()
     target_consistent, _, _ = task.target.features.consistency_partition()
     source_known = np.zeros(task.source.num_entities, dtype=bool)
@@ -45,8 +61,9 @@ def main() -> None:
     source_known[source_consistent] = True
     target_known[target_consistent] = True
 
+    evaluator = Evaluator(task)
     rows = []
-    for iterations in range(6):
+    for iterations in range(MAX_ROUNDS):
         decoder = SemanticPropagation(iterations=iterations)
         propagation = decoder(source_embeddings, target_embeddings,
                               task.source.adjacency, task.target.adjacency,

@@ -12,15 +12,14 @@ The public API is organised in layers:
 * :mod:`repro.eval` / :mod:`repro.experiments` — metrics and the per
   table/figure experiment harness.
 
-Quickstart::
+Quickstart (the declarative pipeline API, see :mod:`repro.pipeline`)::
 
-    from repro import load_benchmark, prepare_task, DESAlign, Trainer
+    from repro import AlignmentPipeline, DataSpec, PipelineSpec
 
-    pair = load_benchmark("FBDB15K", seed_ratio=0.2)
-    task = prepare_task(pair)
-    model = DESAlign(task)
-    result = Trainer(model, task).fit()
-    print(result.metrics)
+    spec = PipelineSpec(data=DataSpec(dataset="FBDB15K", seed_ratio=0.2))
+    aligner = AlignmentPipeline.from_spec(spec).fit()
+    print(aligner.metrics)
+    aligner.save("artifacts/run")
 """
 
 from .core import (
@@ -36,6 +35,17 @@ from .core import (
 from .data import load_benchmark, benchmark_suite, SyntheticPairConfig, generate_pair
 from .eval import AlignmentMetrics, evaluate_alignment, Evaluator
 from .kg import MultiModalKG, KGPair, AlignmentPair
+from .pipeline import (
+    Aligner,
+    AlignmentPipeline,
+    DataSpec,
+    DecodeSpec,
+    ModelSpec,
+    PipelineSpec,
+    register_candidate_generator,
+    register_model,
+    register_training_loop,
+)
 
 __version__ = "1.0.0"
 
@@ -58,5 +68,14 @@ __all__ = [
     "MultiModalKG",
     "KGPair",
     "AlignmentPair",
+    "AlignmentPipeline",
+    "Aligner",
+    "PipelineSpec",
+    "DataSpec",
+    "ModelSpec",
+    "DecodeSpec",
+    "register_model",
+    "register_training_loop",
+    "register_candidate_generator",
     "__version__",
 ]

@@ -1,13 +1,24 @@
 """Baseline entity-alignment models re-implemented on the shared substrate.
 
-The registry maps the model names used in the paper's tables to factory
-callables accepting a :class:`~repro.core.task.PreparedTask`, so the
-experiment harness can instantiate any row of any table uniformly.
+Every aligner registers itself in the shared component registry
+(:mod:`repro.core.registries`) under the model name used in the paper's
+tables, together with a *spec builder* that adapts a declarative
+:class:`~repro.pipeline.ModelSpec` to the model's own constructor — so the
+experiment harness, the CLI and the :class:`~repro.pipeline.AlignmentPipeline`
+facade can instantiate any row of any table uniformly, and downstream code
+can plug new aligners in with one ``@register_model`` decoration.
+
+``MODEL_REGISTRY`` / ``build_model`` are re-exported here for backward
+compatibility; they are the registry itself.
 """
 
 from __future__ import annotations
 
+import inspect
+
+from ..core.config import DESAlignConfig
 from ..core.model import DESAlign
+from ..core.registries import MODEL_REGISTRY, build_model, register_model
 from ..core.task import PreparedTask
 from .base import BaselineConfig, ModalBaselineModel
 from .eva import EVA
@@ -28,22 +39,50 @@ __all__ = [
     "PoE",
     "MODEL_REGISTRY",
     "build_model",
+    "register_model",
 ]
 
-#: Name -> constructor for every aligner usable by the experiment harness.
-MODEL_REGISTRY = {
-    "TransE": TransE,
-    "GCN-align": GCNAlign,
-    "PoE": PoE,
-    "EVA": EVA,
-    "MCLEA": MCLEA,
-    "MEAformer": MEAformer,
-    "DESAlign": DESAlign,
-}
+
+def _transe_from_spec(task: PreparedTask, hidden_dim: int, seed: int, options: dict):
+    return TransE(task, hidden_dim=hidden_dim, seed=seed, **options)
 
 
-def build_model(name: str, task: PreparedTask, **kwargs):
-    """Instantiate a registered aligner by its paper-table name."""
-    if name not in MODEL_REGISTRY:
-        raise KeyError(f"unknown model {name!r}; registered: {sorted(MODEL_REGISTRY)}")
-    return MODEL_REGISTRY[name](task, **kwargs)
+def _desalign_from_spec(task: PreparedTask, hidden_dim: int, seed: int, options: dict):
+    return DESAlign(task, DESAlignConfig(hidden_dim=hidden_dim, seed=seed, **options))
+
+
+#: BaselineConfig's keyword surface (minus the ModelSpec-owned fields):
+#: spec options matching these go into the config, the rest are forwarded
+#: to the model constructor (e.g. MCLEA's modal_loss_weight).
+_CONFIG_FIELDS = (set(inspect.signature(BaselineConfig.__init__).parameters)
+                  - {"self", "hidden_dim", "seed"})
+
+
+def _modal_baseline_from_spec(model_cls, **config_defaults):
+    """Spec builder for the ModalBaselineModel family.
+
+    ``config_defaults`` reproduce the model's own no-config defaults (e.g.
+    MCLEA and MEAformer default to a GAT structure channel), so a bare
+    ``ModelSpec(name=...)`` builds exactly what ``model_cls(task)`` builds.
+    """
+    def build(task: PreparedTask, hidden_dim: int, seed: int, options: dict):
+        merged = {**config_defaults, **options}
+        config_kwargs = {key: merged.pop(key) for key in list(merged)
+                         if key in _CONFIG_FIELDS}
+        config = BaselineConfig(hidden_dim=hidden_dim, seed=seed, **config_kwargs)
+        return model_cls(task, config, **merged)
+    return build
+
+
+# Registration order fixes the registry's (insertion) ordering used by the
+# CLI's --model listing: basic models first, DESAlign last, as in Table IV.
+register_model("TransE", spec_builder=_transe_from_spec)(TransE)
+register_model("GCN-align", spec_builder=_modal_baseline_from_spec(GCNAlign))(GCNAlign)
+register_model("PoE", spec_builder=_modal_baseline_from_spec(PoE))(PoE)
+register_model("EVA", spec_builder=_modal_baseline_from_spec(EVA))(EVA)
+register_model("MCLEA",
+               spec_builder=_modal_baseline_from_spec(MCLEA, gnn="gat"))(MCLEA)
+register_model("MEAformer",
+               spec_builder=_modal_baseline_from_spec(MEAformer, gnn="gat"))(MEAformer)
+register_model("DESAlign", spec_builder=_desalign_from_spec,
+               supports_sampling=True)(DESAlign)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, no_grad
+from ..core.compat import warn_legacy
 from ..core.config import MODALITY_ORDER
 from ..core.similarity import decode_similarity
 from ..core.losses import bidirectional_contrastive_loss
@@ -134,6 +135,27 @@ class ModalBaselineModel(Module):
     def loss(self, source_index: np.ndarray, target_index: np.ndarray):
         raise NotImplementedError
 
+    def decode_states(self, use_propagation: bool = False, encode: str = "full",
+                      encode_batch_size: int | None = None
+                      ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Evaluation states feeding the decode (single round: no propagation).
+
+        Mirrors :meth:`repro.core.model.DESAlign.decode_states` so the
+        pipeline facade can cache and persist any registered aligner's
+        decode inputs uniformly.  ``use_propagation`` means "use the
+        propagation decoder if you have one" and is ignored here exactly as
+        :meth:`similarity` ignores it; the baselines have no
+        sampled-inference path, so that switch is rejected rather than
+        silently ignored.
+        """
+        del use_propagation  # no propagation decoder: single-state decode
+        if encode != "full":
+            raise ValueError(f"{type(self).__name__} only supports encode='full'")
+        with no_grad():
+            source = self.joint_embedding("source").numpy()
+            target = self.joint_embedding("target").numpy()
+        return [source], [target]
+
     def similarity(self, use_propagation: bool = False, decode: str = "auto",
                    k: int = 10, block_size: int | None = None,
                    candidates: str = "exhaustive", ann=None):
@@ -144,11 +166,18 @@ class ModalBaselineModel(Module):
         ``"auto"`` switches on the task size; ``candidates="ivf" | "lsh"``
         restricts the streaming decode to approximate candidate sets
         (seeded from this baseline's config unless the
-        :class:`~repro.core.ann.AnnConfig` pins its own seed).
+        :class:`~repro.core.ann.AnnConfig` pins its own seed).  Non-default
+        switches outside the facade emit a ``DeprecationWarning`` with the
+        spec equivalent.
         """
-        with no_grad():
-            source = self.joint_embedding("source").numpy()
-            target = self.joint_embedding("target").numpy()
+        if decode != "auto" or candidates != "exhaustive":
+            warn_legacy(
+                f"{type(self).__name__}.similarity(decode={decode!r}, "
+                f"candidates={candidates!r})",
+                f"declare DecodeSpec(decode={decode!r}, candidates={candidates!r}) "
+                "in PipelineSpec.decode and call Aligner.align() / "
+                "Aligner.evaluate()")
+        [source], [target] = self.decode_states()
         ann = self._resolve_ann(candidates, ann)
         return decode_similarity(source, target, decode=decode, k=k,
                                  block_size=block_size, candidates=candidates,

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, no_grad
+from ..core.compat import warn_legacy
 from ..core.similarity import decode_similarity
 from ..core.task import PreparedTask
 from ..nn import Module, Parameter, init
@@ -81,12 +82,30 @@ class TransE(Module):
         alignment = (aligned_source - aligned_target).norm(axis=1).mean()
         return structure + alignment * self.alignment_weight
 
+    def decode_states(self, use_propagation: bool = False, encode: str = "full",
+                      encode_batch_size: int | None = None
+                      ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Evaluation states feeding the decode (single round, entity tables).
+
+        ``use_propagation`` is ignored (TransE has no propagation decoder),
+        matching :meth:`similarity`.
+        """
+        del use_propagation
+        if encode != "full":
+            raise ValueError("TransE only supports encode='full'")
+        with no_grad():
+            return ([self.source_entities.numpy()], [self.target_entities.numpy()])
+
     def similarity(self, use_propagation: bool = False, decode: str = "auto",
                    k: int = 10, block_size: int | None = None,
                    candidates: str = "exhaustive", ann=None):
-        with no_grad():
-            source = self.source_entities.numpy()
-            target = self.target_entities.numpy()
+        if decode != "auto" or candidates != "exhaustive":
+            warn_legacy(
+                f"TransE.similarity(decode={decode!r}, candidates={candidates!r})",
+                f"declare DecodeSpec(decode={decode!r}, candidates={candidates!r}) "
+                "in PipelineSpec.decode and call Aligner.align() / "
+                "Aligner.evaluate()")
+        [source], [target] = self.decode_states()
         if candidates != "exhaustive":
             from ..core.ann import resolve_ann
 

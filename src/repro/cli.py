@@ -1,10 +1,18 @@
 """Command-line interface for the DESAlign reproduction.
 
-Three sub-commands cover the common workflows without writing any Python:
+Five sub-commands cover the common workflows without writing any Python:
 
 ``python -m repro.cli train``
     Train one aligner (DESAlign or a baseline) on a benchmark split and
-    print its test metrics.
+    print its test metrics (a shorthand for ``run`` with an inline spec).
+
+``python -m repro.cli run --config spec.json``
+    Run a declarative pipeline spec end to end; optionally save the fitted
+    alignment artifact and a JSON metrics file.
+
+``python -m repro.cli align --artifact DIR``
+    Load a saved alignment artifact and emit top-k aligned pairs as JSON
+    or TSV — no retraining, bit-identical to the decode at save time.
 
 ``python -m repro.cli experiment``
     Run one of the registered table/figure experiments at a chosen scale and
@@ -17,12 +25,13 @@ Three sub-commands cover the common workflows without writing any Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .baselines import MODEL_REGISTRY
 from .data.benchmarks import ALL_DATASETS, benchmark_suite
 from .experiments import ExperimentScale, list_experiments, run_experiment
-from .experiments.runner import build_task, run_cell
+from .pipeline import Aligner, AlignmentPipeline, DataSpec, ModelSpec, PipelineSpec
 
 __all__ = ["build_parser", "main"]
 
@@ -48,6 +57,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decode candidate generation (ivf/lsh = approximate, "
                             "sub-quadratic FLOPs)")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", default=None, metavar="DIR",
+                       help="optional directory for the fitted alignment artifact")
+
+    run = subparsers.add_parser(
+        "run", help="run a declarative pipeline spec (JSON) end to end")
+    run.add_argument("--config", required=True,
+                     help="path to a PipelineSpec JSON file")
+    run.add_argument("--save", default=None, metavar="DIR",
+                     help="optional directory for the fitted alignment artifact")
+    run.add_argument("--output", default=None,
+                     help="optional path for a JSON copy of the test metrics")
+
+    align = subparsers.add_parser(
+        "align", help="decode top-k aligned pairs from a saved artifact")
+    align.add_argument("--artifact", required=True,
+                       help="directory written by Aligner.save / run --save")
+    align.add_argument("--k", type=int, default=None,
+                       help="neighbours per source entity (default: the spec's k)")
+    align.add_argument("--entities", default=None,
+                       help="comma-separated source entity ids (default: all)")
+    align.add_argument("--format", choices=["json", "tsv"], default="json")
+    align.add_argument("--output", default=None,
+                       help="write the pairs here instead of stdout")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures")
@@ -63,18 +95,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_train(args: argparse.Namespace) -> int:
-    scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs, seed=args.seed)
-    task = build_task(args.dataset, scale, seed_ratio=args.seed_ratio,
-                      image_ratio=args.image_ratio, text_ratio=args.text_ratio)
-    overrides = ({"candidates": args.candidates}
-                 if args.candidates != "exhaustive" else None)
-    result = run_cell(args.model, task, scale, iterative=args.iterative,
-                      training_overrides=overrides)
-    print(f"model={args.model} dataset={args.dataset} "
-          f"seeds={len(task.train_pairs)} test={len(task.test_pairs)}")
+def _train_spec(args: argparse.Namespace) -> PipelineSpec:
+    """The spec equivalent of the ``train`` sub-command's flag surface."""
+    scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs,
+                            seed=args.seed)
+    training = scale.training_config(iterative=args.iterative)
+    if args.candidates != "exhaustive":
+        training = training.with_overrides(candidates=args.candidates)
+    return PipelineSpec(
+        data=scale.data_spec(args.dataset, seed_ratio=args.seed_ratio,
+                             image_ratio=args.image_ratio,
+                             text_ratio=args.text_ratio),
+        model=ModelSpec(name=args.model, hidden_dim=scale.hidden_dim),
+        training=training,
+    )
+
+
+def _report_fit(aligner: Aligner, header: str) -> None:
+    result = aligner.result
+    print(header)
     print(f"metrics: {result.metrics}")
-    print(f"train time: {result.train_seconds:.1f}s, parameters: {result.num_parameters}")
+    print(f"train time: {result.train_seconds:.1f}s, "
+          f"parameters: {result.num_parameters}")
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    spec = _train_spec(args)
+    aligner = AlignmentPipeline.from_spec(spec).fit()
+    task = aligner.task
+    _report_fit(aligner, f"model={args.model} dataset={args.dataset} "
+                         f"seeds={len(task.train_pairs)} test={len(task.test_pairs)}")
+    if args.save:
+        directory = aligner.save(args.save)
+        print(f"saved alignment artifact to {directory}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    pipeline = AlignmentPipeline.from_json_file(args.config)
+    spec = pipeline.spec
+    aligner = pipeline.fit()
+    _report_fit(aligner, f"model={spec.model.name} dataset={spec.data.dataset} "
+                         f"entities={spec.data.num_entities} "
+                         f"sampling={spec.training.sampling} "
+                         f"candidates={spec.decode.candidates}")
+    if args.save:
+        directory = aligner.save(args.save)
+        print(f"saved alignment artifact to {directory}")
+    if args.output:
+        payload = {"spec": spec.to_dict(),
+                   "metrics": aligner.result.as_dict()}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"saved JSON metrics to {args.output}")
+    return 0
+
+
+def _command_align(args: argparse.Namespace) -> int:
+    aligner = Aligner.load(args.artifact)
+    if args.entities:
+        entity_ids = [int(token) for token in args.entities.split(",") if token]
+        table = aligner.rank(entity_ids, k=args.k)
+    else:
+        table = aligner.align(k=args.k)
+    if args.format == "tsv":
+        rendered = table.to_tsv()
+    else:
+        rendered = json.dumps({"k": table.k, "approximate": table.approximate,
+                               "alignments": table.to_records()}, indent=2)
+        rendered += "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {len(table.source_ids)} alignment rows to {args.output}")
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 
@@ -104,6 +199,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "train":
         return _command_train(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "align":
+        return _command_align(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "datasets":

@@ -1,5 +1,21 @@
 """DESAlign core: configuration, encoder, losses, propagation, model and trainer."""
 
+from . import rules
+from .compat import in_spec_context, spec_driven, warn_legacy
+from .registries import (
+    CANDIDATE_REGISTRY,
+    MODEL_REGISTRY,
+    TRAINING_LOOP_REGISTRY,
+    build_model,
+    build_model_from_spec,
+    candidate_methods,
+    model_names,
+    model_supports_sampling,
+    register_candidate_generator,
+    register_model,
+    register_training_loop,
+    training_loop_names,
+)
 from .config import DESAlignConfig, TrainingConfig
 from .task import PreparedSide, PreparedTask, prepare_task
 from .encoder import EncoderOutput, MultiModalEncoder
@@ -42,6 +58,22 @@ from .trainer import (
 )
 
 __all__ = [
+    "rules",
+    "spec_driven",
+    "in_spec_context",
+    "warn_legacy",
+    "CANDIDATE_REGISTRY",
+    "MODEL_REGISTRY",
+    "TRAINING_LOOP_REGISTRY",
+    "build_model",
+    "build_model_from_spec",
+    "candidate_methods",
+    "model_names",
+    "model_supports_sampling",
+    "register_candidate_generator",
+    "register_model",
+    "register_training_loop",
+    "training_loop_names",
     "DESAlignConfig",
     "TrainingConfig",
     "PreparedSide",

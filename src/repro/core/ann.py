@@ -46,6 +46,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .registries import CANDIDATE_REGISTRY, register_candidate_generator
+
 __all__ = [
     "AnnConfig",
     "RowCandidates",
@@ -56,12 +58,7 @@ __all__ = [
     "recall_at_k",
     "flops_counter",
     "count_dot_products",
-    "CANDIDATE_METHODS",
 ]
-
-#: Valid values of the ``candidates=`` switch threaded through the decode
-#: stack ("exhaustive" short-circuits candidate generation entirely).
-CANDIDATE_METHODS = ("exhaustive", "ivf", "lsh")
 
 
 # ---------------------------------------------------------------------------
@@ -587,6 +584,43 @@ class RandomHyperplaneLSH:
 # ---------------------------------------------------------------------------
 # Front door used by the decode stack
 # ---------------------------------------------------------------------------
+@register_candidate_generator("lsh")
+def _lsh_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
+                    config: AnnConfig) -> RowCandidates:
+    """Multi-table random-hyperplane candidate sets (no exactness bound)."""
+    if config.exact_escalation:
+        raise ValueError(
+            "exact_escalation is only available for candidates='ivf': "
+            "random-hyperplane LSH has no bound proving a top-1 exact")
+    index = RandomHyperplaneLSH(target_concat, tables=config.tables,
+                                hyperplanes=config.hyperplanes,
+                                seed=config.resolved_seed())
+    return index.candidates(source_concat)
+
+
+@register_candidate_generator("ivf")
+def _ivf_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
+                    config: AnnConfig) -> RowCandidates | None:
+    """IVF candidate sets; ``None`` when probing provably covers every cell."""
+    seed = config.resolved_seed()
+    if not config.exact_escalation and config.nprobe is not None:
+        num_targets = len(target_concat)
+        n_clusters = config.n_clusters
+        if n_clusters is None:
+            n_clusters = max(1, int(round(np.sqrt(num_targets))))
+        if config.nprobe >= min(int(n_clusters), num_targets):
+            return None
+    index = IVFIndex(target_concat, n_clusters=config.n_clusters,
+                     kmeans_iters=config.kmeans_iters, seed=seed)
+    if config.exact_escalation:
+        forward = index.escalated_candidates(source_concat)
+        reverse_index = IVFIndex(source_concat, n_clusters=config.n_clusters,
+                                 kmeans_iters=config.kmeans_iters, seed=seed + 1)
+        reverse = reverse_index.escalated_candidates(target_concat)
+        return forward.union(reverse.transposed())
+    return index.candidates(source_concat, nprobe=config.nprobe)
+
+
 def generate_candidates(method: str, source, target,
                         config: AnnConfig | None = None) -> RowCandidates | None:
     """Per-source-row candidate target sets for a (round-averaged) decode.
@@ -594,8 +628,10 @@ def generate_candidates(method: str, source, target,
     ``source`` / ``target`` are embedding matrices or lists of per-round
     states (the Semantic Propagation decode); rounds are normalised and
     concatenated, which preserves the averaged-similarity neighbour
-    structure exactly.  ``method`` selects the generator; the returned sets
-    are deterministic functions of the inputs and ``config.seed``.
+    structure exactly.  ``method`` names a generator registered through
+    :func:`repro.core.registries.register_candidate_generator` (the
+    built-ins are ``"ivf"`` and ``"lsh"``); the returned sets are
+    deterministic functions of the inputs and ``config.seed``.
 
     Returns ``None`` when the configuration provably covers every cell
     (IVF with ``nprobe >= n_clusters``): complete coverage *is* the
@@ -603,42 +639,14 @@ def generate_candidates(method: str, source, target,
     the identical GEMM path bit for bit — without ever materialising an
     ``O(n_s · n_t)`` candidate structure.
     """
-    if method not in {"ivf", "lsh"}:
+    builder = CANDIDATE_REGISTRY.get(method)
+    if builder is None:
         raise ValueError(f"unknown candidate method {method!r}; "
-                         f"use one of {CANDIDATE_METHODS}")
+                         f"registered: {sorted(CANDIDATE_REGISTRY)}")
     config = config or AnnConfig()
-    seed = config.resolved_seed()
     source_concat = _concat_states(source)
     target_concat = _concat_states(target)
-
-    if method == "ivf" and not config.exact_escalation and config.nprobe is not None:
-        num_targets = len(target_concat)
-        n_clusters = config.n_clusters
-        if n_clusters is None:
-            n_clusters = max(1, int(round(np.sqrt(num_targets))))
-        if config.nprobe >= min(int(n_clusters), num_targets):
-            return None
-
-    if method == "lsh":
-        if config.exact_escalation:
-            raise ValueError(
-                "exact_escalation is only available for candidates='ivf': "
-                "random-hyperplane LSH has no bound proving a top-1 exact")
-        index = RandomHyperplaneLSH(target_concat, tables=config.tables,
-                                    hyperplanes=config.hyperplanes, seed=seed)
-        result = index.candidates(source_concat)
-    else:
-        index = IVFIndex(target_concat, n_clusters=config.n_clusters,
-                         kmeans_iters=config.kmeans_iters, seed=seed)
-        if config.exact_escalation:
-            forward = index.escalated_candidates(source_concat)
-            reverse_index = IVFIndex(source_concat, n_clusters=config.n_clusters,
-                                     kmeans_iters=config.kmeans_iters, seed=seed + 1)
-            reverse = reverse_index.escalated_candidates(target_concat)
-            result = forward.union(reverse.transposed())
-        else:
-            result = index.candidates(source_concat, nprobe=config.nprobe)
-
+    result = builder(source_concat, target_concat, config)
     if config.min_candidates is not None and result is not None:
         result = result.padded(config.min_candidates)
     return result

@@ -1,0 +1,53 @@
+"""Back-compat shims for the pre-pipeline keyword-argument API.
+
+The declarative pipeline (:mod:`repro.pipeline`) is the supported way to
+compose backends, decode modes, sampling strategies and candidate
+generation.  The old entry points — ``Trainer(model, task, config)`` and
+``model.similarity(decode=..., candidates=...)`` — keep working but emit a
+:class:`DeprecationWarning` that spells out the spec-equivalent invocation.
+
+The facade itself drives the very same engines, so every internal call runs
+inside :func:`spec_driven`, which silences the shim: users migrating to the
+spec path never see a warning produced by our own plumbing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+
+__all__ = ["spec_driven", "in_spec_context", "warn_legacy"]
+
+_DEPTH = 0
+
+
+@contextlib.contextmanager
+def spec_driven():
+    """Mark the dynamic extent of a spec-driven (facade) invocation."""
+    global _DEPTH
+    _DEPTH += 1
+    try:
+        yield
+    finally:
+        _DEPTH -= 1
+
+
+def in_spec_context() -> bool:
+    """True while executing on behalf of the pipeline facade."""
+    return _DEPTH > 0
+
+
+def warn_legacy(legacy: str, spec_equivalent: str, stacklevel: int = 3) -> None:
+    """Deprecation-warn a legacy call pattern, spelling out the spec path.
+
+    No-op inside :func:`spec_driven`, so the facade can reuse the legacy
+    engines without triggering its own deprecation machinery.
+    """
+    if _DEPTH:
+        return
+    warnings.warn(
+        f"{legacy} is deprecated in favour of the declarative pipeline API; "
+        f"equivalent: {spec_equivalent}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from . import rules
 from .ann import AnnConfig
 
 __all__ = ["DESAlignConfig", "TrainingConfig", "DEFAULT_ENCODE_BATCH"]
@@ -100,8 +101,7 @@ class DESAlignConfig:
             raise ValueError("at least one modality is required")
         if self.evaluation_embedding not in {"original", "fused"}:
             raise ValueError("evaluation_embedding must be 'original' or 'fused'")
-        if self.backend not in {"auto", "dense", "sparse"}:
-            raise ValueError("backend must be 'auto', 'dense' or 'sparse'")
+        rules.check_backend(self.backend, allow_auto=True)
         if not 0.0 < self.temperature:
             raise ValueError("temperature must be positive")
         if self.propagation_iters < 0:
@@ -169,22 +169,14 @@ class TrainingConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.sampling not in {"full", "neighbour"}:
-            raise ValueError("sampling must be 'full' or 'neighbour'")
-        if self.candidates not in {"exhaustive", "ivf", "lsh"}:
-            raise ValueError("candidates must be 'exhaustive', 'ivf' or 'lsh'")
-        if self.iterative and self.candidates == "lsh":
-            raise ValueError(
-                "iterative pseudo-seeding needs a provably exact top-1, which "
-                "LSH candidates cannot offer; use candidates='ivf' (escalated "
-                "automatically) or 'exhaustive'")
-        if self.early_stopping_patience > 0 and self.eval_every <= 0:
-            raise ValueError(
-                "early stopping consumes periodic evaluations; set eval_every > 0")
-        if self.fanouts is not None:
-            for fanout in self.fanouts:
-                if fanout is not None and fanout != -1 and fanout <= 0:
-                    raise ValueError("fanout entries must be positive, -1 or None")
+        # Every rule delegates to repro.core.rules so this config, the
+        # evaluator and PipelineSpec.validate() reject a combination with
+        # one shared message.
+        rules.check_sampling_method(self.sampling)
+        rules.check_candidates_method(self.candidates)
+        rules.check_iterative_candidates(self.iterative, self.candidates)
+        rules.check_patience_cadence(self.early_stopping_patience, self.eval_every)
+        rules.check_fanouts(self.fanouts)
         if self.eval_batch_size <= 0:
             raise ValueError("eval_batch_size must be positive")
 

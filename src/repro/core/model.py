@@ -13,6 +13,7 @@ import numpy as np
 from ..autograd import no_grad
 from ..kg.sampling import NeighbourSampler, SubgraphView, attention_pattern
 from ..nn import Module
+from .compat import warn_legacy
 from .config import DEFAULT_ENCODE_BATCH, DESAlignConfig
 from .encoder import EncoderOutput, MultiModalEncoder
 from .losses import LossBreakdown, MultiModalSemanticLoss
@@ -220,6 +221,34 @@ class DESAlign(Module):
             source_known=source_known, target_known=target_known,
         )
 
+    def decode_states(self, use_propagation: bool = True, encode: str = "full",
+                      encode_batch_size: int | None = None
+                      ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-round evaluation states feeding the streaming decode.
+
+        One entry per Semantic Propagation round (a single entry without
+        propagation, or when the config decodes from the last round only);
+        the cosine similarities of the per-round states, averaged, are
+        exactly what :meth:`decode` materialises densely.  This is the
+        cacheable artefact the :class:`~repro.pipeline.Aligner` persists —
+        decoding any ``k`` from the same states is bit-reproducible.
+        """
+        source_embeddings, target_embeddings = self._evaluation_embeddings(
+            encode=encode, encode_batch_size=encode_batch_size)
+        if use_propagation and self.config.propagation_iters > 0:
+            source_known, target_known = self.propagation_masks()
+            source_states = self.propagation.propagate_features(
+                source_embeddings, self.task.source.adjacency, source_known)
+            target_states = self.propagation.propagate_features(
+                target_embeddings, self.task.target.adjacency, target_known)
+            if not self.config.propagation_average:
+                source_states = [source_states[-1]]
+                target_states = [target_states[-1]]
+        else:
+            source_states = [source_embeddings]
+            target_states = [target_embeddings]
+        return source_states, target_states
+
     def decode_topk(self, use_propagation: bool = True, k: int = 10,
                     block_size: int | None = None, dtype=np.float64,
                     columns: np.ndarray | None = None, encode: str = "full",
@@ -239,20 +268,9 @@ class DESAlign(Module):
         embeddings, dropping decode FLOPs below ``O(n_s · n_t)`` (see
         :mod:`repro.core.ann`).
         """
-        source_embeddings, target_embeddings = self._evaluation_embeddings(
-            encode=encode, encode_batch_size=encode_batch_size)
-        if use_propagation and self.config.propagation_iters > 0:
-            source_known, target_known = self.propagation_masks()
-            source_states = self.propagation.propagate_features(
-                source_embeddings, self.task.source.adjacency, source_known)
-            target_states = self.propagation.propagate_features(
-                target_embeddings, self.task.target.adjacency, target_known)
-            if not self.config.propagation_average:
-                source_states = [source_states[-1]]
-                target_states = [target_states[-1]]
-        else:
-            source_states = [source_embeddings]
-            target_states = [target_embeddings]
+        source_states, target_states = self.decode_states(
+            use_propagation=use_propagation, encode=encode,
+            encode_batch_size=encode_batch_size)
         row_candidates = None
         if candidates != "exhaustive":
             row_candidates = generate_candidates(
@@ -281,7 +299,19 @@ class DESAlign(Module):
         ``candidates="ivf" | "lsh"`` forces the blockwise path and restricts
         it to approximate candidate sets (incompatible with an explicit
         ``decode="dense"``).
+
+        Tuning these switches per call is the legacy API: outside the
+        facade's own plumbing, non-default values emit a
+        ``DeprecationWarning`` pointing at the spec-equivalent
+        :class:`~repro.pipeline.DecodeSpec`.
         """
+        if decode != "auto" or candidates != "exhaustive" or encode != "full":
+            warn_legacy(
+                f"DESAlign.similarity(decode={decode!r}, encode={encode!r}, "
+                f"candidates={candidates!r})",
+                f"declare DecodeSpec(decode={decode!r}, encode={encode!r}, "
+                f"candidates={candidates!r}) in PipelineSpec.decode and call "
+                "Aligner.align() / Aligner.evaluate()")
         resolve_candidates(candidates, decode)
         shape = (self.task.source.num_entities, self.task.target.num_entities)
         if candidates == "exhaustive" and resolve_decode(decode, shape) == "dense":

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import rules
 from .ann import (
     AnnConfig,
     RowCandidates,
@@ -64,8 +65,7 @@ DENSE_DECODE_CELL_LIMIT = 4_000_000
 def resolve_decode(decode: str, shape: tuple[int, int],
                    cell_limit: int = DENSE_DECODE_CELL_LIMIT) -> str:
     """Resolve a ``"dense" | "blockwise" | "auto"`` switch for a decode shape."""
-    if decode not in {"dense", "blockwise", "auto"}:
-        raise ValueError("decode must be 'dense', 'blockwise' or 'auto'")
+    rules.check_decode_method(decode)
     if decode != "auto":
         return decode
     return "dense" if shape[0] * shape[1] <= cell_limit else "blockwise"
@@ -76,14 +76,11 @@ def resolve_candidates(candidates: str, decode: str) -> None:
 
     Candidate generation only exists on the streaming path; pairing it with
     an explicit dense decode is a contradiction and is rejected rather than
-    silently ignored (``decode="auto"`` routes to blockwise instead).
+    silently ignored (``decode="auto"`` routes to blockwise instead).  Both
+    rules live in :mod:`repro.core.rules` (shared with the spec validator).
     """
-    if candidates not in {"exhaustive", "ivf", "lsh"}:
-        raise ValueError("candidates must be 'exhaustive', 'ivf' or 'lsh'")
-    if candidates != "exhaustive" and decode == "dense":
-        raise ValueError(
-            f"candidates={candidates!r} restricts the streaming decode and is "
-            "incompatible with decode='dense'; use decode='blockwise' or 'auto'")
+    rules.check_candidates_method(candidates)
+    rules.check_candidates_decode(candidates, decode)
 
 
 def decode_similarity(source: np.ndarray, target: np.ndarray,

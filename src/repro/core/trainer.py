@@ -42,7 +42,9 @@ from ..eval.metrics import AlignmentMetrics
 from ..nn import AdamW, CosineWarmupSchedule, EarlyStopping, GradientClipper
 from .alignment import mutual_nearest_pairs
 from .ann import AnnConfig, resolve_ann
+from .compat import spec_driven, warn_legacy
 from .config import TrainingConfig
+from .registries import TRAINING_LOOP_REGISTRY, register_training_loop
 from .energy import EnergyMonitor
 from .task import PreparedTask
 
@@ -212,6 +214,7 @@ class TrainingLoop:
                         break
 
 
+@register_training_loop("full")
 class FullGraphLoop(TrainingLoop):
     """Classic strategy: every step encodes all entities of both graphs."""
 
@@ -239,13 +242,15 @@ class FullGraphLoop(TrainingLoop):
         kwargs = filter_supported_kwargs(self.model.similarity,
                                          use_propagation=True,
                                          **self.pseudo_seed_decode_kwargs())
-        return self.model.similarity(**kwargs)
+        with spec_driven():
+            return self.model.similarity(**kwargs)
 
     def record_energy(self, monitor: EnergyMonitor, epoch: int) -> None:
         if hasattr(self.model, "encode"):
             monitor.record(epoch, self.model.encode("source"))
 
 
+@register_training_loop("neighbour")
 class NeighbourSampledLoop(TrainingLoop):
     """Neighbour-sampled mini-batch strategy (GraphSAGE-style).
 
@@ -297,7 +302,8 @@ class NeighbourSampledLoop(TrainingLoop):
                   "encode": "sampled",
                   "encode_batch_size": self.config.eval_batch_size}
         kwargs.update(self.pseudo_seed_decode_kwargs())
-        return self.model.similarity(**kwargs)
+        with spec_driven():
+            return self.model.similarity(**kwargs)
 
     # Recording energy would require a full-graph encoder pass, which this
     # strategy exists to avoid; record_energy stays the base no-op, and
@@ -306,18 +312,38 @@ class NeighbourSampledLoop(TrainingLoop):
 
 def build_training_loop(model, task: PreparedTask, config: TrainingConfig,
                         rng: np.random.Generator | None = None) -> TrainingLoop:
-    """Instantiate the :class:`TrainingLoop` selected by ``config.sampling``."""
+    """Instantiate the :class:`TrainingLoop` selected by ``config.sampling``.
+
+    The lookup goes through the training-loop registry
+    (:mod:`repro.core.registries`), so strategies registered by downstream
+    code are selectable by name exactly like the built-ins.
+    """
     rng = rng if rng is not None else np.random.default_rng(config.seed)
-    if config.sampling == "neighbour":
-        return NeighbourSampledLoop(model, task, config, rng)
-    return FullGraphLoop(model, task, config, rng)
+    loop_cls = TRAINING_LOOP_REGISTRY.get(config.sampling)
+    if loop_cls is None:
+        raise ValueError(
+            f"no training loop registered under sampling={config.sampling!r}; "
+            f"registered: {sorted(TRAINING_LOOP_REGISTRY)}")
+    return loop_cls(model, task, config, rng)
 
 
 class Trainer:
-    """Generic trainer for entity-alignment models on a prepared task."""
+    """Generic trainer for entity-alignment models on a prepared task.
+
+    This is the optimisation *engine*; as a user-facing entry point it is
+    deprecated in favour of the declarative facade
+    (:class:`repro.pipeline.AlignmentPipeline`), which drives this very
+    class internally and adds spec validation, artifact persistence and
+    decode caching on top.
+    """
 
     def __init__(self, model, task: PreparedTask, config: TrainingConfig | None = None,
                  energy_monitor: EnergyMonitor | None = None):
+        warn_legacy(
+            "Trainer(model, task, config)",
+            "spec = PipelineSpec(model=ModelSpec(name=<registry name>), "
+            "training=<this TrainingConfig>); "
+            "AlignmentPipeline.from_spec(spec).fit(task) — see repro.pipeline")
         self.model = model
         self.task = task
         self.config = config or TrainingConfig()

@@ -8,6 +8,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core import rules
+from ..core.compat import spec_driven
 from ..core.task import PreparedTask
 from .metrics import AlignmentMetrics, evaluate_alignment
 
@@ -60,6 +62,17 @@ class Evaluator:
     candidates: str = "exhaustive"
     ann: object | None = None
 
+    def __post_init__(self) -> None:
+        # Legality delegated to repro.core.rules (the spec validator uses
+        # the same functions), so an incoherent evaluator is rejected at
+        # construction with the same message everywhere.
+        rules.check_decode_method(self.decode)
+        rules.check_encode_method(self.encode)
+        rules.check_ranking_method(self.ranking)
+        rules.check_candidates_method(self.candidates)
+        rules.check_candidates_decode(self.candidates, self.decode)
+        rules.check_ranking_candidates(self.ranking, self.candidates)
+
     def evaluate_similarity(self, similarity) -> AlignmentMetrics:
         """Score a similarity matrix or top-k decode on the test pairs."""
         return evaluate_alignment(similarity, self.task.test_pairs,
@@ -82,7 +95,9 @@ class Evaluator:
             if self.ann is not None:
                 forwarded["ann"] = self.ann
         kwargs = filter_supported_kwargs(model.similarity, **forwarded)
-        return self.evaluate_similarity(model.similarity(**kwargs))
+        with spec_driven():
+            similarity = model.similarity(**kwargs)
+        return self.evaluate_similarity(similarity)
 
 
 @dataclass

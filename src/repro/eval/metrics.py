@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core import rules
 from ..core.similarity import TopKSimilarity
 
 __all__ = ["ranks_from_similarity", "hits_at_k", "mean_reciprocal_rank", "AlignmentMetrics",
@@ -61,8 +62,7 @@ def ranks_from_similarity(similarity, test_pairs: np.ndarray,
         ``k`` of the CSLS local-scaling means on the dense path; a top-k
         decode uses the ``csls_k`` it was streamed with.
     """
-    if ranking not in {"cosine", "csls"}:
-        raise ValueError("ranking must be 'cosine' or 'csls'")
+    rules.check_ranking_method(ranking)
     test_pairs = np.asarray(test_pairs, dtype=np.int64)
     if test_pairs.ndim != 2 or test_pairs.shape[1] != 2:
         raise ValueError("test_pairs must have shape (num_test, 2)")
@@ -104,10 +104,7 @@ def _ranks_from_topk(topk: TopKSimilarity, test_pairs: np.ndarray,
     is refused.
     """
     if topk.approximate and ranking == "csls":
-        raise ValueError(
-            "CSLS ranking requires exact similarity statistics; this decode "
-            "was restricted to approximate candidate sets — decode with "
-            "candidates='exhaustive' for CSLS-ranked evaluation")
+        raise rules.approximate_csls_error("this decode")
     num_target = topk.shape[1]
     if restrict_candidates:
         candidates = np.unique(test_pairs[:, 1])

@@ -1,9 +1,12 @@
 """Common execution helpers shared by every experiment runner.
 
 The experiment modules describe *what* to run (datasets, splits, model
-rows); this module knows *how* to run a single cell of a table: build the
-benchmark split, prepare the task, instantiate the model from the registry,
-train it with the shared trainer and return the metric bundle.
+rows); this module knows *how* to run a single cell of a table.  Since the
+pipeline API landed, "how" means: translate the cell into a declarative
+:class:`~repro.pipeline.PipelineSpec` and drive the
+:class:`~repro.pipeline.AlignmentPipeline` facade — the same path the CLI
+and downstream users take — so the experiment harness exercises the public
+API surface rather than a private shortcut.
 
 Experiment scale (entity count, epoch count, which model rows to include)
 is controlled by an :class:`ExperimentScale` so the same code serves both
@@ -12,13 +15,13 @@ quick benchmark runs and larger overnight reproductions.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, replace
 
-from ..baselines import build_model
-from ..core.config import DESAlignConfig, TrainingConfig
-from ..core.task import PreparedTask, prepare_task
-from ..core.trainer import Trainer, TrainingResult
-from ..data.benchmarks import load_benchmark
+from ..core.config import TrainingConfig
+from ..core.task import PreparedTask
+from ..core.trainer import TrainingResult
+from ..pipeline import AlignmentPipeline, DataSpec, ModelSpec, PipelineSpec
 
 __all__ = ["ExperimentScale", "QUICK_SCALE", "PAPER_SCALE", "PROMINENT_MODELS",
            "BASIC_MODELS", "build_task", "train_model", "run_cell"]
@@ -52,6 +55,29 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)
 
+    # ------------------------------------------------------------------
+    # Spec translation
+    # ------------------------------------------------------------------
+    def data_spec(self, dataset: str, seed_ratio: float | None = None,
+                  image_ratio: float | None = None,
+                  text_ratio: float | None = None) -> DataSpec:
+        """The ``data`` section of a spec run at this scale."""
+        return DataSpec(dataset=dataset, num_entities=self.num_entities,
+                        seed_ratio=seed_ratio, image_ratio=image_ratio,
+                        text_ratio=text_ratio, backend=self.backend,
+                        seed=self.seed)
+
+    def training_config(self, iterative: bool = False) -> TrainingConfig:
+        """The ``training`` section of a spec run at this scale."""
+        return TrainingConfig(
+            epochs=self.epochs,
+            eval_every=self.eval_every,
+            iterative=iterative,
+            iterative_rounds=self.iterative_rounds,
+            iterative_epochs=self.iterative_epochs,
+            seed=self.seed,
+        )
+
 
 #: Fast setting used by the pytest-benchmark harness (seconds per cell).
 QUICK_SCALE = ExperimentScale(num_entities=80, epochs=30)
@@ -61,48 +87,73 @@ PAPER_SCALE = ExperimentScale(num_entities=200, epochs=150, iterative_epochs=50,
                               iterative_rounds=2)
 
 
+def _config_options(config) -> dict:
+    """Flatten a legacy config object (dataclass or plain) into spec options."""
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    return dict(vars(config))
+
+
+def _model_spec(model_name: str, scale: ExperimentScale,
+                model_kwargs: dict | None) -> ModelSpec:
+    """Translate the legacy ``model_kwargs`` surface into a :class:`ModelSpec`.
+
+    A ``config=`` entry (a :class:`~repro.core.config.DESAlignConfig` or
+    :class:`~repro.baselines.BaselineConfig`) is flattened into spec
+    options; remaining kwargs pass through as options directly.  Without an
+    explicit config, DESAlign follows the scale's backend (the other models
+    follow the prepared task).
+    """
+    options = dict(model_kwargs or {})
+    hidden_dim = scale.hidden_dim
+    seed = scale.seed
+    config = options.pop("config", None)
+    if config is not None:
+        flattened = _config_options(config)
+        hidden_dim = flattened.pop("hidden_dim", hidden_dim)
+        seed = flattened.pop("seed", seed)
+        options.update(flattened)
+    elif model_name == "DESAlign":
+        options.setdefault("backend", scale.backend)
+    hidden_dim = options.pop("hidden_dim", hidden_dim)
+    seed = options.pop("seed", seed)
+    return ModelSpec(name=model_name, hidden_dim=hidden_dim, seed=seed,
+                     options=options)
+
+
 def build_task(dataset: str, scale: ExperimentScale,
                seed_ratio: float | None = None,
                image_ratio: float | None = None,
                text_ratio: float | None = None) -> PreparedTask:
     """Materialise and prepare one benchmark split at the requested scale."""
-    pair = load_benchmark(
-        dataset,
-        seed_ratio=seed_ratio,
-        image_ratio=image_ratio,
-        text_ratio=text_ratio,
-        num_entities=scale.num_entities,
-        seed=None,
+    spec = PipelineSpec(
+        data=scale.data_spec(dataset, seed_ratio=seed_ratio,
+                             image_ratio=image_ratio, text_ratio=text_ratio),
+        model=ModelSpec(hidden_dim=scale.hidden_dim),
     )
-    return prepare_task(pair, structure_dim=scale.hidden_dim, seed=scale.seed,
-                        backend=scale.backend)
+    return AlignmentPipeline.from_spec(spec).build_task()
 
 
 def train_model(model_name: str, task: PreparedTask, scale: ExperimentScale,
                 iterative: bool = False, model_kwargs: dict | None = None,
                 training_overrides: dict | None = None):
-    """Train one model on one prepared split; returns ``(model, TrainingResult)``."""
-    model_kwargs = dict(model_kwargs or {})
-    if model_name == "DESAlign" and "config" not in model_kwargs:
-        model_kwargs["config"] = DESAlignConfig(hidden_dim=scale.hidden_dim,
-                                                seed=scale.seed,
-                                                backend=scale.backend)
-    elif model_name == "TransE":
-        model_kwargs.setdefault("hidden_dim", scale.hidden_dim)
-        model_kwargs.setdefault("seed", scale.seed)
-    model = build_model(model_name, task, **model_kwargs)
-    training = TrainingConfig(
-        epochs=scale.epochs,
-        eval_every=scale.eval_every,
-        iterative=iterative,
-        iterative_rounds=scale.iterative_rounds,
-        iterative_epochs=scale.iterative_epochs,
-        seed=scale.seed,
-    )
+    """Train one model on one prepared split; returns ``(model, TrainingResult)``.
+
+    The cell is expressed as a :class:`~repro.pipeline.PipelineSpec`
+    (``dataset="custom"`` because the task is already prepared and shared
+    across the row's cells) and run through the facade.
+    """
+    training = scale.training_config(iterative=iterative)
     if training_overrides:
         training = training.with_overrides(**training_overrides)
-    trainer = Trainer(model, task, training)
-    return model, trainer.fit()
+    spec = PipelineSpec(
+        data=DataSpec(dataset="custom", num_entities=scale.num_entities,
+                      backend=task.backend, seed=scale.seed),
+        model=_model_spec(model_name, scale, model_kwargs),
+        training=training,
+    )
+    aligner = AlignmentPipeline.from_spec(spec).fit(task)
+    return aligner.model, aligner.result
 
 
 def run_cell(model_name: str, task: PreparedTask, scale: ExperimentScale,

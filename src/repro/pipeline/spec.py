@@ -1,0 +1,321 @@
+"""Declarative, JSON-round-trippable specification of an alignment pipeline.
+
+A :class:`PipelineSpec` composes the four concerns a full alignment run
+spans into one frozen, validated object:
+
+* ``data`` — which benchmark split (or custom pair) to align, at what
+  scale, under which graph backend (:class:`DataSpec`);
+* ``model`` — which registered aligner, at what width, with which
+  model-specific options (:class:`ModelSpec`);
+* ``training`` — the optimisation recipe, reusing the existing
+  :class:`~repro.core.config.TrainingConfig` verbatim;
+* ``decode`` — how test-time similarities are produced and ranked
+  (:class:`DecodeSpec`).
+
+Specs serialise losslessly: ``PipelineSpec.from_dict(spec.to_dict()) ==
+spec``, and ``from_json_file`` / ``to_json_file`` move them through plain
+JSON (tuples become lists on the way out and are restored on the way in).
+Unknown keys and illegal combinations are rejected with actionable
+messages; every cross-field legality rule — candidates × ranking,
+candidates × decode, iterative × LSH, patience × cadence, backend
+coherence, sampling capability — is enforced in exactly one place,
+:meth:`PipelineSpec.validate`, through the shared rule functions of
+:mod:`repro.core.rules`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from ..core import rules
+from ..core.ann import AnnConfig
+from ..core.config import TrainingConfig
+from ..core.registries import model_names, model_supports_sampling
+from ..data.benchmarks import ALL_DATASETS
+
+__all__ = ["DataSpec", "ModelSpec", "DecodeSpec", "PipelineSpec",
+           "CUSTOM_DATASET"]
+
+#: ``DataSpec.dataset`` value declaring that the pair is supplied by the
+#: caller (``AlignmentPipeline.fit(pair)``) instead of a benchmark preset.
+CUSTOM_DATASET = "custom"
+
+
+def _jsonable(value):
+    """Tuples become lists and nested dataclasses (e.g. ``AnnConfig``)
+    become dicts, so a section dict is directly ``json.dump``-able."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _section_to_dict(section) -> dict:
+    return {f.name: _jsonable(getattr(section, f.name)) for f in fields(section)}
+
+
+def _check_keys(cls, payload, section: str) -> dict:
+    """Reject non-dict payloads and unknown keys with an actionable message."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"the {section!r} section must be a JSON object, "
+                         f"got {type(payload).__name__}")
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - valid)
+    if unknown:
+        raise ValueError(f"unknown key(s) {unknown} in the {section!r} section; "
+                         f"valid keys: {sorted(valid)}")
+    return dict(payload)
+
+
+def _tuple_or_none(value):
+    if value is None:
+        return None
+    return tuple(value)
+
+
+def _ann_from_payload(value, section: str) -> AnnConfig | None:
+    if value is None or isinstance(value, AnnConfig):
+        return value
+    data = _check_keys(AnnConfig, value, f"{section}.ann")
+    return AnnConfig(**data)
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Which alignment task to materialise, at what scale.
+
+    ``dataset`` names a benchmark preset (see
+    :data:`repro.data.benchmarks.ALL_DATASETS`) or :data:`CUSTOM_DATASET`
+    for a caller-supplied :class:`~repro.kg.KGPair`.  ``seed`` drives task
+    preparation (feature hashing, imputation, train/test split);
+    ``dataset_seed`` optionally overrides the preset's base seed for the
+    synthetic generator itself (``None`` keeps the preset default, which is
+    what the experiment harness uses).
+    """
+
+    dataset: str = "FBDB15K"
+    num_entities: int = 120
+    seed_ratio: float | None = None
+    image_ratio: float | None = None
+    text_ratio: float | None = None
+    backend: str = "dense"
+    seed: int = 0
+    dataset_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        rules.check_backend(self.backend)
+        if self.num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        for name in ("seed_ratio", "image_ratio", "text_ratio"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DataSpec":
+        return cls(**_check_keys(cls, payload, "data"))
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Which registered aligner to build, and how wide.
+
+    ``name`` is looked up in the model registry
+    (:func:`repro.core.registries.register_model`); ``options`` carries
+    model-specific constructor options as a JSON-native mapping (e.g.
+    ``{"propagation_iters": 3}`` for DESAlign, ``{"gnn": "gat"}`` for a
+    modal baseline — list values are converted to tuples at build time).
+    ``seed=None`` inherits the pipeline's data seed.
+    """
+
+    name: str = "DESAlign"
+    hidden_dim: int = 32
+    seed: int | None = None
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        if not isinstance(self.options, dict):
+            raise ValueError("model options must be a mapping")
+        # Canonicalise to the JSON-native form (tuples -> lists) so the
+        # round-trip invariant from_dict(to_dict(s)) == s holds even for
+        # tuple-valued options; the model builders re-tuple at build time.
+        object.__setattr__(self, "options", _jsonable(self.options))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelSpec":
+        return cls(**_check_keys(cls, payload, "model"))
+
+
+@dataclass(frozen=True)
+class DecodeSpec:
+    """How the fitted aligner produces and ranks test-time similarities.
+
+    Mirrors the keyword surface that used to be threaded through
+    ``model.similarity`` / ``Evaluator``: decode engine (``dense`` /
+    ``blockwise`` / ``auto``), stored neighbours ``k``, encoder path
+    (``full`` / ``sampled`` + batch size), ranking (``cosine`` / ``csls``)
+    and candidate generation (``exhaustive`` or a registered generator,
+    with an optional :class:`~repro.core.ann.AnnConfig`).
+    """
+
+    decode: str = "auto"
+    k: int = 10
+    encode: str = "full"
+    encode_batch_size: int | None = None
+    ranking: str = "cosine"
+    candidates: str = "exhaustive"
+    ann: AnnConfig | None = None
+    use_propagation: bool = True
+
+    def __post_init__(self) -> None:
+        rules.check_decode_method(self.decode)
+        rules.check_encode_method(self.encode)
+        rules.check_ranking_method(self.ranking)
+        rules.check_candidates_method(self.candidates)
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.encode_batch_size is not None and self.encode_batch_size <= 0:
+            raise ValueError("encode_batch_size must be positive")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecodeSpec":
+        data = _check_keys(cls, payload, "decode")
+        if "ann" in data:
+            data["ann"] = _ann_from_payload(data["ann"], "decode")
+        return cls(**data)
+
+
+def _training_from_dict(payload: dict) -> TrainingConfig:
+    data = _check_keys(TrainingConfig, payload, "training")
+    if "fanouts" in data:
+        data["fanouts"] = _tuple_or_none(data["fanouts"])
+    if "ann" in data:
+        data["ann"] = _ann_from_payload(data["ann"], "training")
+    return TrainingConfig(**data)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One validated, serialisable description of a full alignment run."""
+
+    data: DataSpec = field(default_factory=DataSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    decode: DecodeSpec = field(default_factory=DecodeSpec)
+
+    # ------------------------------------------------------------------
+    # Validation (the single home of every cross-field legality rule)
+    # ------------------------------------------------------------------
+    def validate(self) -> "PipelineSpec":
+        """Check every cross-field legality rule; returns ``self``.
+
+        Section-local vocabulary is already validated at construction (the
+        dataclasses delegate to :mod:`repro.core.rules` in their
+        ``__post_init__``); this method adds everything that spans
+        sections, so an illegal pipeline is rejected here — once — instead
+        of partway through a run.
+        """
+        data, model, training, decode = (self.data, self.model,
+                                         self.training, self.decode)
+        # -- registry membership ---------------------------------------
+        known_models = model_names()
+        if model.name not in known_models:
+            raise ValueError(f"unknown model {model.name!r}; "
+                             f"registered: {known_models}")
+        if data.dataset != CUSTOM_DATASET and data.dataset not in ALL_DATASETS:
+            raise ValueError(
+                f"unknown dataset {data.dataset!r}; use one of "
+                f"{list(ALL_DATASETS)} or {CUSTOM_DATASET!r} with "
+                "AlignmentPipeline.fit(pair=...)")
+        # -- decode coherence ------------------------------------------
+        rules.check_candidates_decode(decode.candidates, decode.decode)
+        rules.check_ranking_candidates(decode.ranking, decode.candidates)
+        # -- training coherence (re-run so validate() covers the full
+        #    rule set even if TrainingConfig construction is bypassed) --
+        rules.check_iterative_candidates(training.iterative, training.candidates)
+        rules.check_patience_cadence(training.early_stopping_patience,
+                                     training.eval_every)
+        # -- capability: neighbour sampling / sampled inference --------
+        if training.sampling == "neighbour" and not model_supports_sampling(model.name):
+            raise ValueError(
+                f"model {model.name!r} does not support sampling='neighbour' "
+                "(it must expose subgraph_loss and neighbour_sampler); "
+                "register it with supports_sampling=True or use sampling='full'")
+        if decode.encode == "sampled" and not model_supports_sampling(model.name):
+            raise ValueError(
+                f"model {model.name!r} does not support encode='sampled' "
+                "(batched subgraph inference); use encode='full'")
+        # -- backend coherence -----------------------------------------
+        model_backend = model.options.get("backend")
+        if model_backend not in (None, "auto") and model_backend != data.backend:
+            raise ValueError(
+                f"model backend {model_backend!r} contradicts data backend "
+                f"{data.backend!r}; drop the model override (backend='auto' "
+                "follows the prepared task) or align the two sections")
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native nested dict (tuples listed, dataclasses expanded)."""
+        return {
+            "data": _section_to_dict(self.data),
+            "model": _section_to_dict(self.model),
+            "training": _section_to_dict(self.training),
+            "decode": _section_to_dict(self.decode),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineSpec":
+        """Build and validate a spec from a (possibly partial) nested dict."""
+        if not isinstance(payload, dict):
+            raise ValueError("a pipeline spec must be a JSON object")
+        known = {"data", "model", "training", "decode"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown top-level key(s) {unknown} in pipeline "
+                             f"spec; valid sections: {sorted(known)}")
+        spec = cls(
+            data=DataSpec.from_dict(payload.get("data", {})),
+            model=ModelSpec.from_dict(payload.get("model", {})),
+            training=_training_from_dict(payload.get("training", {})),
+            decode=DecodeSpec.from_dict(payload.get("decode", {})),
+        )
+        return spec.validate()
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_json_file(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_json_file(cls, path) -> "PipelineSpec":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"spec file {path} is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_overrides(self, **sections) -> "PipelineSpec":
+        """Return a copy with whole sections replaced (and re-validated)."""
+        from dataclasses import replace
+
+        return replace(self, **sections).validate()

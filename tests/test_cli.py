@@ -69,6 +69,117 @@ class TestCommands:
             build_parser().parse_args(["train", "--candidates", "faiss"])
 
 
+def write_spec(tmp_path, **overrides):
+    """A tiny runnable spec JSON; overrides replace whole sections."""
+    payload = {
+        "data": {"dataset": "FBDB15K", "num_entities": 36, "seed_ratio": 0.3},
+        "model": {"name": "DESAlign", "hidden_dim": 16},
+        "training": {"epochs": 2, "eval_every": 0, "seed": 0},
+        "decode": {"k": 4},
+    }
+    payload.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestRunCommand:
+    def test_run_prints_metrics_and_saves_artifact(self, capsys, tmp_path):
+        spec_path = write_spec(tmp_path)
+        artifact = tmp_path / "artifact"
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(["run", "--config", str(spec_path),
+                          "--save", str(artifact),
+                          "--output", str(metrics_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "model=DESAlign" in output
+        assert "H@1=" in output
+        for filename in ("spec.json", "params.npz", "decode.npz"):
+            assert (artifact / filename).exists(), filename
+        payload = json.loads(metrics_path.read_text())
+        assert payload["spec"]["model"]["name"] == "DESAlign"
+        assert 0.0 <= payload["metrics"]["H@1"] <= 1.0
+        assert "train_seconds" in payload["metrics"]
+
+    def test_run_rejects_illegal_spec(self, tmp_path):
+        spec_path = write_spec(
+            tmp_path, decode={"ranking": "csls", "candidates": "ivf"})
+        with pytest.raises(ValueError, match="CSLS"):
+            main(["run", "--config", str(spec_path)])
+
+    def test_run_rejects_unknown_keys(self, tmp_path):
+        spec_path = write_spec(tmp_path, optimiser={"lr": 0.1})
+        with pytest.raises(ValueError, match="unknown top-level key"):
+            main(["run", "--config", str(spec_path)])
+
+    def test_run_matches_equivalent_legacy_train_invocation(self, capsys, tmp_path):
+        """Acceptance: spec-driven run == legacy kwarg path on H@1/H@10/MRR."""
+        import warnings
+
+        from repro.core.config import DESAlignConfig, TrainingConfig
+        from repro.core.model import DESAlign
+        from repro.core.task import prepare_task
+        from repro.core.trainer import Trainer
+        from repro.data.benchmarks import load_benchmark
+
+        spec_path = write_spec(tmp_path)
+        assert main(["run", "--config", str(spec_path)]) == 0
+        run_metrics_line = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("metrics:"))
+
+        pair = load_benchmark("FBDB15K", seed_ratio=0.3, num_entities=36)
+        task = prepare_task(pair, structure_dim=16, seed=0, backend="dense")
+        model = DESAlign(task, DESAlignConfig(hidden_dim=16, seed=0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = Trainer(model, task,
+                             TrainingConfig(epochs=2, eval_every=0, seed=0)).fit()
+        assert run_metrics_line == f"metrics: {legacy.metrics}"
+
+
+class TestAlignCommand:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        spec_path = write_spec(tmp_path)
+        directory = tmp_path / "artifact"
+        assert main(["run", "--config", str(spec_path),
+                     "--save", str(directory)]) == 0
+        return directory
+
+    def test_align_emits_json(self, artifact, capsys):
+        assert main(["align", "--artifact", str(artifact), "--k", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 3
+        assert payload["approximate"] is False
+        assert len(payload["alignments"]) == 36
+        assert len(payload["alignments"][0]["targets"]) == 3
+
+    def test_align_emits_tsv_for_selected_entities(self, artifact, capsys, tmp_path):
+        output = tmp_path / "pairs.tsv"
+        assert main(["align", "--artifact", str(artifact), "--k", "2",
+                     "--entities", "0,5", "--format", "tsv",
+                     "--output", str(output)]) == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0] == "source\trank\ttarget\tscore"
+        assert len(lines) == 1 + 2 * 2
+        assert lines[1].split("\t")[0] == "0"
+
+    def test_align_missing_artifact_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["align", "--artifact", str(tmp_path / "nope")])
+
+    def test_train_save_then_align(self, capsys, tmp_path):
+        directory = tmp_path / "trained"
+        assert main(["train", "--model", "DESAlign", "--dataset", "FBDB15K",
+                     "--entities", "36", "--epochs", "2",
+                     "--save", str(directory)]) == 0
+        assert main(["align", "--artifact", str(directory), "--k", "2"]) == 0
+        output = capsys.readouterr().out
+        assert '"alignments"' in output
+
+
 #: Per-experiment grid reductions for the CLI smoke run: same runners, same
 #: code paths, but one dataset / ratio / model row each so the whole registry
 #: smokes in seconds.  Keys must cover the registry exactly (guard below).
