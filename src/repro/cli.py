@@ -14,6 +14,11 @@ Five sub-commands cover the common workflows without writing any Python:
     Load a saved alignment artifact and emit top-k aligned pairs as JSON
     or TSV — no retraining, bit-identical to the decode at save time.
 
+``python -m repro.cli serve --artifact DIR``
+    Serve a saved artifact long-lived over a stdin/stdout JSON-lines
+    protocol: micro-batched concurrent ranking, LRU result caching and
+    graceful artifact hot-swap (see :mod:`repro.serve`).
+
 ``python -m repro.cli experiment``
     Run one of the registered table/figure experiments at a chosen scale and
     print (and optionally save) the regenerated table.
@@ -80,6 +85,29 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--format", choices=["json", "tsv"], default="json")
     align.add_argument("--output", default=None,
                        help="write the pairs here instead of stdout")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved artifact over a stdin/stdout JSON protocol")
+    serve.add_argument("--artifact", required=True,
+                       help="directory written by Aligner.save / run --save")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="load decode payloads into memory instead of "
+                            "memory-mapping them read-only")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="seconds the micro-batcher waits to coalesce "
+                            "concurrent requests (default 0.002)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max entity rows per coalesced batch (default 64)")
+    serve.add_argument("--pool-size", type=int, default=2,
+                       help="decode worker threads (default 2)")
+    serve.add_argument("--queue-size", type=int, default=128,
+                       help="bounded work-queue depth; full = structured "
+                            "'overloaded' errors (default 128)")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU result-cache entries (default 4096)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-request deadline in seconds "
+                            "(default 30)")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures")
@@ -173,6 +201,24 @@ def _command_align(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, stdin=None, stdout=None) -> int:
+    from .serve import ServingEngine, ServingServer
+
+    engine = ServingEngine.from_artifact(
+        args.artifact, mmap=not args.no_mmap,
+        batch_window=args.batch_window, max_batch=args.max_batch,
+        pool_size=args.pool_size, queue_size=args.queue_size,
+        cache_size=args.cache_size, default_timeout=args.timeout)
+    server = ServingServer(engine)
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    print(f"serving artifact {args.artifact} "
+          f"(generation {engine.generation}); one JSON request per line, "
+          "op in rank|stats|swap|ping|shutdown", file=sys.stderr)
+    server.serve_forever(stdin, stdout)
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     scale = ExperimentScale(num_entities=args.entities, epochs=args.epochs, seed=args.seed)
     result = run_experiment(args.experiment_id, scale=scale)
@@ -203,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "align":
         return _command_align(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "datasets":

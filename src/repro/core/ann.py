@@ -52,6 +52,7 @@ __all__ = [
     "AnnConfig",
     "RowCandidates",
     "IVFIndex",
+    "IVFWarmStart",
     "RandomHyperplaneLSH",
     "generate_candidates",
     "resolve_ann",
@@ -299,6 +300,26 @@ class RowCandidates:
             self.indices, rows, self.num_columns,
             num_columns if num_columns is not None else self.num_rows)
 
+    def select_rows(self, rows) -> "RowCandidates":
+        """Candidate sets of a row subset (rows renumbered 0..len(rows)-1).
+
+        Row ``i`` of the result holds exactly the candidates of input row
+        ``rows[i]`` — the slice the row-subset decode
+        (:meth:`repro.pipeline.Aligner.rank`) feeds ``blockwise_topk``, so a
+        partial decode restricted to these rows computes the same cells the
+        full decode would for them.  Duplicate ids are allowed (the serving
+        engine pads single-row decodes).
+        """
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise ValueError("row ids out of range")
+        counts = self.counts[rows]
+        positions = _flat_bucket_positions(self.indptr[rows], counts)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return RowCandidates(indptr=indptr, indices=self.indices[positions],
+                             num_columns=self.num_columns)
+
     def padded(self, min_count: int) -> "RowCandidates":
         """Ensure every row holds at least ``min_count`` candidates.
 
@@ -382,7 +403,8 @@ class IVFIndex:
     """
 
     def __init__(self, vectors: np.ndarray, n_clusters: int | None = None,
-                 kmeans_iters: int = 8, seed: int = 0):
+                 kmeans_iters: int = 8, seed: int = 0,
+                 init_centroids: np.ndarray | None = None):
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or len(vectors) == 0:
             raise ValueError("vectors must be a non-empty 2-D array")
@@ -393,11 +415,27 @@ class IVFIndex:
         self.n_clusters = min(int(n_clusters), num)
         rng = np.random.default_rng(seed)
 
-        centroids = vectors[rng.choice(num, size=self.n_clusters, replace=False)].copy()
-        # kmeans_iters=0 keeps the raw random-centroid bucketing; the final
+        if (init_centroids is not None
+                and init_centroids.shape == (self.n_clusters, vectors.shape[1])):
+            # Warm start (e.g. the previous iterative-training round's
+            # centroids): Lloyd refines an already-good quantisation, so the
+            # convergence early-exit below usually fires after one pass.
+            centroids = np.asarray(init_centroids, dtype=np.float64).copy()
+        else:
+            centroids = vectors[rng.choice(num, size=self.n_clusters,
+                                           replace=False)].copy()
+        # kmeans_iters=0 keeps the raw initial-centroid bucketing; the final
         # assignment below always runs.
+        previous_assignments: np.ndarray | None = None
         for _ in range(int(kmeans_iters)):
             assignments = self._assign(vectors, centroids)
+            if (previous_assignments is not None
+                    and np.array_equal(assignments, previous_assignments)):
+                # Unchanged assignments mean the following centroid update
+                # recomputes the same means: Lloyd has converged and every
+                # remaining iteration is a bit-identical no-op — skip them.
+                break
+            previous_assignments = assignments
             sums = np.zeros_like(centroids)
             np.add.at(sums, assignments, vectors)
             counts = np.bincount(assignments, minlength=self.n_clusters)
@@ -410,6 +448,7 @@ class IVFIndex:
                 distances = np.linalg.norm(vectors - centroids[assignments], axis=1)
                 farthest = np.argsort(-distances)
                 centroids[~occupied] = vectors[farthest[:int((~occupied).sum())]]
+                previous_assignments = None
         self.assignments = self._assign(vectors, centroids)
         self.centroids = centroids
 
@@ -517,6 +556,39 @@ class IVFIndex:
                                         len(self.vectors))
 
 
+class IVFWarmStart:
+    """Mutable carrier of k-means centroids across repeated IVF builds.
+
+    The iterative trainer re-quantises the (slightly shifted) evaluation
+    embeddings every bootstrapping round; passing one ``IVFWarmStart``
+    through :func:`generate_candidates` makes each round's k-means start
+    from the previous round's centroids instead of a fresh random draw, so
+    Lloyd converges (and the convergence early-exit fires) after far fewer
+    assignment passes.  Candidate *exactness* is untouched: the escalated
+    pseudo-seed decode proves its top-1 per row regardless of where the
+    quantiser converged.
+
+    One entry is kept per direction key (the forward ``target`` index and
+    the reverse ``source`` index of escalation); a stored centroid set is
+    only reused when its shape still matches.
+    """
+
+    def __init__(self) -> None:
+        self._centroids: dict[str, np.ndarray] = {}
+
+    def get(self, key: str, n_clusters: int, dim: int) -> np.ndarray | None:
+        stored = self._centroids.get(key)
+        if stored is not None and stored.shape == (n_clusters, dim):
+            return stored
+        return None
+
+    def store(self, key: str, centroids: np.ndarray) -> None:
+        self._centroids[key] = np.asarray(centroids, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._centroids)
+
+
 # ---------------------------------------------------------------------------
 # Random-hyperplane (sign) LSH
 # ---------------------------------------------------------------------------
@@ -600,7 +672,8 @@ def _lsh_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
 
 @register_candidate_generator("ivf")
 def _ivf_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
-                    config: AnnConfig) -> RowCandidates | None:
+                    config: AnnConfig,
+                    warm_start: IVFWarmStart | None = None) -> RowCandidates | None:
     """IVF candidate sets; ``None`` when probing provably covers every cell."""
     seed = config.resolved_seed()
     if not config.exact_escalation and config.nprobe is not None:
@@ -610,19 +683,34 @@ def _ivf_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
             n_clusters = max(1, int(round(np.sqrt(num_targets))))
         if config.nprobe >= min(int(n_clusters), num_targets):
             return None
-    index = IVFIndex(target_concat, n_clusters=config.n_clusters,
-                     kmeans_iters=config.kmeans_iters, seed=seed)
+
+    def build(vectors: np.ndarray, key: str, index_seed: int) -> IVFIndex:
+        init = None
+        if warm_start is not None:
+            probe_clusters = config.n_clusters
+            if probe_clusters is None:
+                probe_clusters = max(1, int(round(np.sqrt(len(vectors)))))
+            probe_clusters = min(int(probe_clusters), len(vectors))
+            init = warm_start.get(key, probe_clusters, vectors.shape[1])
+        index = IVFIndex(vectors, n_clusters=config.n_clusters,
+                         kmeans_iters=config.kmeans_iters, seed=index_seed,
+                         init_centroids=init)
+        if warm_start is not None:
+            warm_start.store(key, index.centroids)
+        return index
+
+    index = build(target_concat, "forward", seed)
     if config.exact_escalation:
         forward = index.escalated_candidates(source_concat)
-        reverse_index = IVFIndex(source_concat, n_clusters=config.n_clusters,
-                                 kmeans_iters=config.kmeans_iters, seed=seed + 1)
+        reverse_index = build(source_concat, "reverse", seed + 1)
         reverse = reverse_index.escalated_candidates(target_concat)
         return forward.union(reverse.transposed())
     return index.candidates(source_concat, nprobe=config.nprobe)
 
 
 def generate_candidates(method: str, source, target,
-                        config: AnnConfig | None = None) -> RowCandidates | None:
+                        config: AnnConfig | None = None,
+                        warm_start: IVFWarmStart | None = None) -> RowCandidates | None:
     """Per-source-row candidate target sets for a (round-averaged) decode.
 
     ``source`` / ``target`` are embedding matrices or lists of per-round
@@ -632,6 +720,12 @@ def generate_candidates(method: str, source, target,
     :func:`repro.core.registries.register_candidate_generator` (the
     built-ins are ``"ivf"`` and ``"lsh"``); the returned sets are
     deterministic functions of the inputs and ``config.seed``.
+
+    ``warm_start`` (an :class:`IVFWarmStart`) carries k-means centroids
+    across repeated builds — generators that support it (the built-in IVF)
+    must accept it as a keyword; it is only forwarded when supplied, so
+    generators without warm-start support keep their three-argument
+    signature.
 
     Returns ``None`` when the configuration provably covers every cell
     (IVF with ``nprobe >= n_clusters``): complete coverage *is* the
@@ -646,7 +740,11 @@ def generate_candidates(method: str, source, target,
     config = config or AnnConfig()
     source_concat = _concat_states(source)
     target_concat = _concat_states(target)
-    result = builder(source_concat, target_concat, config)
+    if warm_start is not None:
+        result = builder(source_concat, target_concat, config,
+                         warm_start=warm_start)
+    else:
+        result = builder(source_concat, target_concat, config)
     if config.min_candidates is not None and result is not None:
         result = result.padded(config.min_candidates)
     return result

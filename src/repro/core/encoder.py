@@ -29,6 +29,7 @@ from ..nn import (
     Parameter,
     init,
 )
+from .ann import count_dot_products
 from .config import DESAlignConfig
 
 __all__ = ["EncoderOutput", "MultiModalEncoder"]
@@ -113,6 +114,33 @@ class MultiModalEncoder(Module):
         """The trainable ``x^g`` table of one side."""
         return self._parameters[self._structure_keys[side]]
 
+    def _meter_forward(self, num_rows: int, num_edges: int) -> None:
+        """Report the forward pass to the active FLOPs meter.
+
+        Shape-derived dot-product counts (the same unit the decode paths
+        meter): per GAT layer one hidden-dim transform cell per (row,
+        hidden) pair plus one attention logit per (edge, head) and one
+        aggregation op per edge; per FC modality its projection cells; and
+        for the CAW block the QKV projections, the M×M attention logits /
+        weighted sums per head, and the position-wise feed-forward.  With
+        this, ``flops_counter()`` spans encode + decode end to end.
+        """
+        config = self.config
+        hidden = config.hidden_dim
+        cells = 0
+        for modality in self.modalities:
+            if modality == "graph":
+                cells += config.gat_layers * (
+                    num_rows * hidden
+                    + num_edges * (config.gat_heads + 1))
+            else:
+                cells += num_rows * hidden
+        num_modal = len(self.modalities)
+        cells += num_rows * num_modal * 3 * hidden
+        cells += num_rows * num_modal * num_modal * 2 * config.attention_heads
+        cells += num_rows * num_modal * (config.feed_forward_dim + hidden)
+        count_dot_products(cells)
+
     def forward(self, side: str, features: dict[str, np.ndarray],
                 adjacency, subgraph=None) -> EncoderOutput:
         """Encode one graph, fully or restricted to a sampled subgraph.
@@ -137,6 +165,10 @@ class MultiModalEncoder(Module):
         """
         if subgraph is not None:
             node_ids = subgraph.seed_nodes
+            self._meter_forward(
+                len(node_ids),
+                sum(layer.num_edges for layer in subgraph.layers)
+                if "graph" in self.modalities else 0)
             modal: dict[str, Tensor] = {}
             for modality in self.modalities:
                 if modality == "graph":
@@ -149,6 +181,12 @@ class MultiModalEncoder(Module):
             return self._fuse(modal, node_ids=node_ids)
 
         modal = {}
+        if "graph" in self.modalities:
+            edges = (int(adjacency.nnz) if hasattr(adjacency, "nnz")
+                     else int(np.count_nonzero(adjacency)))
+        else:
+            edges = 0
+        self._meter_forward(self.structural_embedding(side).data.shape[0], edges)
         for modality in self.modalities:
             if modality == "graph":
                 modal["graph"] = self.gat(self.structural_embedding(side), adjacency)

@@ -254,7 +254,8 @@ class DESAlign(Module):
                     columns: np.ndarray | None = None, encode: str = "full",
                     encode_batch_size: int | None = None,
                     candidates: str = "exhaustive",
-                    ann: AnnConfig | None = None) -> TopKSimilarity:
+                    ann: AnnConfig | None = None,
+                    ann_warm_start=None) -> TopKSimilarity:
         """Streaming blockwise decode: exact top-``k`` neighbours per entity.
 
         Runs the same Semantic Propagation rounds as :meth:`decode` but
@@ -266,7 +267,10 @@ class DESAlign(Module):
         ``candidates="ivf" | "lsh"`` restricts the stream to approximate
         candidate sets generated over the (round-concatenated) evaluation
         embeddings, dropping decode FLOPs below ``O(n_s · n_t)`` (see
-        :mod:`repro.core.ann`).
+        :mod:`repro.core.ann`).  ``ann_warm_start`` optionally carries an
+        :class:`~repro.core.ann.IVFWarmStart` across repeated decodes so
+        the IVF quantiser re-fits from the previous centroids (the
+        iterative trainer's per-round pseudo-seed decodes).
         """
         source_states, target_states = self.decode_states(
             use_propagation=use_propagation, encode=encode,
@@ -275,7 +279,8 @@ class DESAlign(Module):
         if candidates != "exhaustive":
             row_candidates = generate_candidates(
                 candidates, source_states, target_states,
-                resolve_ann(ann, self.config.seed))
+                resolve_ann(ann, self.config.seed),
+                warm_start=ann_warm_start)
         return blockwise_topk(source_states, target_states, k=k,
                               block_size=block_size, dtype=dtype, columns=columns,
                               row_candidates=row_candidates)
@@ -285,7 +290,8 @@ class DESAlign(Module):
                    dtype=np.float64, encode: str = "full",
                    encode_batch_size: int | None = None,
                    candidates: str = "exhaustive",
-                   ann: AnnConfig | None = None):
+                   ann: AnnConfig | None = None,
+                   ann_warm_start=None):
         """Decoding similarity ``Ω`` used for evaluation.
 
         ``decode="dense"`` returns the full source×target matrix (the
@@ -322,4 +328,5 @@ class DESAlign(Module):
         return self.decode_topk(use_propagation=use_propagation, k=k,
                                 block_size=block_size, dtype=dtype, encode=encode,
                                 encode_batch_size=encode_batch_size,
-                                candidates=candidates, ann=ann)
+                                candidates=candidates, ann=ann,
+                                ann_warm_start=ann_warm_start)

@@ -265,7 +265,8 @@ def blockwise_topk(source, target, k: int = 10,
                    dtype=np.float64,
                    csls_k: int = 10,
                    columns: np.ndarray | None = None,
-                   row_candidates: RowCandidates | None = None) -> TopKSimilarity:
+                   row_candidates: RowCandidates | None = None,
+                   pre_normalized: bool = False) -> TopKSimilarity:
     """Stream the (round-averaged) cosine similarity and reduce to top-k.
 
     Parameters
@@ -294,6 +295,13 @@ def blockwise_topk(source, target, k: int = 10,
         ``O(n_s · n_t)``.  A *complete* candidate set (every row holds
         every column — e.g. IVF with ``nprobe == n_clusters``) dispatches
         to the exhaustive GEMM path, reproducing it bit for bit.
+    pre_normalized:
+        Declare that every state is already the output of the engine's own
+        row normalisation at ``dtype`` (``_normalize_rows(...).astype``),
+        skipping the per-call normalisation pass.  The serving path caches
+        the normalised tables once per artifact and decodes row subsets
+        against them — bit-identically, because the very same normalised
+        values enter the products.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -327,7 +335,8 @@ def blockwise_topk(source, target, k: int = 10,
         return _blockwise_topk_candidates(source_states, target_states,
                                           row_candidates, k=k,
                                           block_size=block_size, dtype=dtype,
-                                          csls_k=csls_k)
+                                          csls_k=csls_k,
+                                          pre_normalized=pre_normalized)
 
     if columns is not None:
         columns = np.asarray(columns, dtype=np.int64)
@@ -335,12 +344,16 @@ def blockwise_topk(source, target, k: int = 10,
             raise ValueError("columns must be sorted ascending")
 
     dtype = np.dtype(dtype)
-    source_norm = [_normalize_rows(state).astype(dtype, copy=False)
-                   for state in source_states]
+    if pre_normalized:
+        source_norm = [np.asarray(state) for state in source_states]
+    else:
+        source_norm = [_normalize_rows(state).astype(dtype, copy=False)
+                       for state in source_states]
     num_target = np.asarray(target_states[0]).shape[0]
     target_norm = []
     for state in target_states:
-        normalized = _normalize_rows(state)
+        normalized = (np.asarray(state) if pre_normalized
+                      else _normalize_rows(state))
         if columns is not None:
             normalized = normalized[columns]
         target_norm.append(normalized.astype(dtype, copy=False))
@@ -431,7 +444,8 @@ def _blockwise_topk_candidates(source_states: list[np.ndarray],
                                target_states: list[np.ndarray],
                                row_candidates: RowCandidates,
                                k: int, block_size: int, dtype,
-                               csls_k: int) -> TopKSimilarity:
+                               csls_k: int,
+                               pre_normalized: bool = False) -> TopKSimilarity:
     """Candidate-restricted streaming decode (sparse gather per block).
 
     Only the cells named by ``row_candidates`` are computed — a gathered
@@ -442,10 +456,14 @@ def _blockwise_topk_candidates(source_states: list[np.ndarray],
     CSLS statistics (consumers refuse rather than degrade).
     """
     dtype = np.dtype(dtype)
-    source_norm = [_normalize_rows(state).astype(dtype, copy=False)
-                   for state in source_states]
-    target_norm = [_normalize_rows(state).astype(dtype, copy=False)
-                   for state in target_states]
+    if pre_normalized:
+        source_norm = [np.asarray(state) for state in source_states]
+        target_norm = [np.asarray(state) for state in target_states]
+    else:
+        source_norm = [_normalize_rows(state).astype(dtype, copy=False)
+                       for state in source_states]
+        target_norm = [_normalize_rows(state).astype(dtype, copy=False)
+                       for state in target_states]
     num_source = source_norm[0].shape[0]
     num_cols = target_norm[0].shape[0]
     num_rounds = len(source_norm)

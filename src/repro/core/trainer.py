@@ -41,7 +41,7 @@ from ..eval.evaluator import Evaluator, filter_supported_kwargs
 from ..eval.metrics import AlignmentMetrics
 from ..nn import AdamW, CosineWarmupSchedule, EarlyStopping, GradientClipper
 from .alignment import mutual_nearest_pairs
-from .ann import AnnConfig, resolve_ann
+from .ann import AnnConfig, IVFWarmStart, resolve_ann
 from .compat import spec_driven, warn_legacy
 from .config import TrainingConfig
 from .registries import TRAINING_LOOP_REGISTRY, register_training_loop
@@ -106,6 +106,10 @@ class TrainingLoop:
         self.evaluator = self._build_evaluator()
         #: Wall-clock seconds of the most recent :meth:`evaluate` call.
         self.last_eval_seconds = 0.0
+        #: Carries IVF k-means centroids across the iterative strategy's
+        #: per-round pseudo-seed decodes (None off the IVF path).
+        self._ann_warm_start = (IVFWarmStart()
+                                if config.candidates == "ivf" else None)
 
     # -- strategy hooks -------------------------------------------------
     def _build_evaluator(self) -> Evaluator:
@@ -152,7 +156,11 @@ class TrainingLoop:
             raise ValueError(
                 "mutual-NN pseudo-seeding cannot run on LSH candidates")
         ann = self.resolved_ann().with_overrides(exact_escalation=True)
-        return {"decode": "blockwise", "candidates": "ivf", "ann": ann}
+        # The warm start re-fits each round's quantiser from the previous
+        # round's centroids; escalation keeps the selection provably exact,
+        # so the pseudo-seed pairs are independent of the centroid history.
+        return {"decode": "blockwise", "candidates": "ivf", "ann": ann,
+                "ann_warm_start": self._ann_warm_start}
 
     # -- shared skeleton ------------------------------------------------
     def evaluate(self) -> AlignmentMetrics:

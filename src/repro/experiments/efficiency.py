@@ -130,6 +130,33 @@ def _profile_decode_paths(result: ExperimentResult, dataset: str,
         )
 
 
+def _profile_end_to_end_flops(result: ExperimentResult, dataset: str,
+                              model, num_entities: int) -> None:
+    """Encoder forward + streaming decode, metered in one dot-product unit.
+
+    The multi-modal encoder meters its forward pass through the same
+    :func:`flops_counter` the decode engines use, so the encode and decode
+    figures are directly comparable and their sum is the full inference
+    cost of one alignment pass — the quantity a serving deployment pays.
+    """
+    with flops_counter() as encode_counter:
+        source, target = model._evaluation_embeddings()
+    with flops_counter() as decode_counter:
+        blockwise_topk(source, target, k=10, block_size=512)
+    encode_cells = int(encode_counter.cells)
+    decode_cells = int(decode_counter.cells)
+    result.add_row(
+        dataset=dataset,
+        model="flops-encode-decode",
+        entities=num_entities,
+        train_seconds=0.0,
+        decode_seconds=0.0,
+        encode_cells=encode_cells,
+        decode_cells=decode_cells,
+        total_cells=encode_cells + decode_cells,
+    )
+
+
 def _topk_decode(source: np.ndarray, target: np.ndarray, candidates: str):
     """One streamed top-k decode, exhaustive or candidate-restricted.
 
@@ -273,6 +300,9 @@ def run_efficiency(scale: ExperimentScale = QUICK_SCALE,
         # Dense vs blockwise decode on the trained embeddings ...
         _profile_decode_paths(result, dataset, source_embeddings,
                               target_embeddings, task.source.num_entities)
+        # ... plus the end-to-end encode+decode FLOPs of one inference pass.
+        _profile_end_to_end_flops(result, dataset, desalign_model,
+                                  task.source.num_entities)
 
     # ... and at larger synthetic scales, where the dense n x n pipeline's
     # O(n²) peak dwarfs the O(block · n) streaming engine, and where the

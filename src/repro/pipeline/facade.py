@@ -31,17 +31,21 @@ the in-memory one.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import shutil
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from ..core.ann import RowCandidates, generate_candidates, resolve_ann
+from ..core.ann import (RowCandidates, _normalize_rows, generate_candidates,
+                        resolve_ann)
 from ..core.compat import spec_driven
 from ..core.registries import build_model_from_spec
-from ..core.similarity import TopKSimilarity, blockwise_topk
+from ..core.similarity import (DEFAULT_BLOCK_SIZE, TopKSimilarity,
+                               _blockwise_topk_candidates, blockwise_topk)
 from ..core.task import PreparedTask, prepare_task
 from ..core.trainer import Trainer, TrainingResult
 from ..data.benchmarks import load_benchmark
@@ -206,6 +210,14 @@ class Aligner:
                              else (task.train_pairs if task is not None else None))
         self._test_pairs = (test_pairs if test_pairs is not None
                             else (task.test_pairs if task is not None else None))
+        # Serving caches: normalised decode tables, padded candidate
+        # structures per k, and per-(k, entity) candidate row slices.
+        self._norm_states: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        self._padded_cache: dict[int, RowCandidates] = {}
+        self._row_slice_cache: dict[tuple[int, int], np.ndarray] = {}
+        #: Candidate-slice cache counters (observable via serving stats).
+        self.candidate_slice_hits = 0
+        self.candidate_slice_misses = 0
 
     # ------------------------------------------------------------------
     # Cached decode inputs
@@ -282,6 +294,71 @@ class Aligner:
             self._topk_cache[k] = cached
         return cached
 
+    def _normalized_states(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Row-normalised decode tables, computed once per artifact.
+
+        Exactly the arrays the streaming engine derives internally
+        (``_normalize_rows`` at float64), cached so row-subset serving
+        decodes skip the full-table normalisation pass — and stay
+        bit-identical to the full decode, because the very same
+        normalised values enter the products (``pre_normalized=True``).
+        """
+        if self._norm_states is None:
+            source_states, target_states = self.decode_states()
+            dtype = np.dtype(np.float64)
+            self._norm_states = (
+                [_normalize_rows(state).astype(dtype, copy=False)
+                 for state in source_states],
+                [_normalize_rows(state).astype(dtype, copy=False)
+                 for state in target_states])
+        return self._norm_states
+
+    def _candidate_rows(self, entity_ids: np.ndarray,
+                        k_keep: int) -> RowCandidates:
+        """Padded candidate rows for a subset, served from the slice cache.
+
+        The full structure is padded once per ``k_keep`` and each entity's
+        padded row slice is memoised, so consecutive ``rank`` calls on
+        overlapping ids re-use the gathered slices instead of re-slicing
+        (and re-padding) :class:`RowCandidates` every time.  ``padded`` is
+        row-local, so pad-then-select equals select-then-pad and the
+        subset decode sees exactly the rows the full decode would.
+        """
+        padded = self._padded_cache.get(k_keep)
+        if padded is None:
+            padded = self.row_candidates().padded(k_keep)
+            self._padded_cache[k_keep] = padded
+        rows = []
+        for entity in entity_ids:
+            key = (k_keep, int(entity))
+            row = self._row_slice_cache.get(key)
+            if row is None:
+                self.candidate_slice_misses += 1
+                row = padded.row(int(entity))
+                self._row_slice_cache[key] = row
+            else:
+                self.candidate_slice_hits += 1
+            rows.append(row)
+        counts = np.asarray([len(row) for row in rows], dtype=np.int64)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = (np.concatenate(rows) if rows
+                   else np.empty(0, dtype=np.int64))
+        return RowCandidates(indptr=indptr, indices=indices,
+                             num_columns=padded.num_columns)
+
+    def decode_fingerprint(self) -> str:
+        """Stable identity of this artifact's decode configuration.
+
+        A hash over the full validated spec: any change to the data,
+        model, training or decode parameters changes the fingerprint.
+        Serving result caches key on it (together with the engine's
+        artifact generation) so cached rows can never outlive the decode
+        parameters that produced them.
+        """
+        payload = json.dumps(self.spec.to_dict(), sort_keys=True)
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -300,22 +377,75 @@ class Aligner:
         )
 
     def rank(self, entity_ids, k: int | None = None) -> TopKAlignment:
-        """Ranked target candidates for selected source entities."""
+        """Ranked target candidates for selected source entities.
+
+        Delegates to :meth:`rank_rows`, which serves from the cached full
+        table when one exists and decodes only the requested rows
+        otherwise — always with results bit-identical to slicing
+        :meth:`align`.
+        """
+        return self.rank_rows(entity_ids, k)
+
+    def rank_rows(self, entity_ids, k: int | None = None) -> TopKAlignment:
+        """Ranked candidates for selected rows — the serving fast path.
+
+        Candidate-restricted artifacts decode only the requested rows: a
+        gathered ``einsum`` over each row's (cached, padded) candidate
+        slice, so cost scales with the batch, not the corpus.  The
+        per-cell products are row-local and independent of which other
+        rows share the batch, which is what makes micro-batched,
+        single-row and full-table decodes bit-identical — the GEMM kernel
+        used by exhaustive decodes does *not* have that property (its
+        last-ulp rounding depends on the batch shape), so exhaustive
+        artifacts are served by slicing the cached full top-``k`` table
+        instead: one corpus-sized decode on the first query per ``k``,
+        O(1) row slices afterwards.
+        """
         k = int(k) if k is not None else self.spec.decode.k
-        topk = self.topk(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
         entity_ids = np.asarray(entity_ids, dtype=np.int64).reshape(-1)
+        candidates = self.row_candidates()
+        restricted = candidates is not None and not candidates.is_complete()
+        if not restricted or k in self._topk_cache:
+            topk = self.topk(k)
+            if len(entity_ids) and (entity_ids.min() < 0
+                                    or entity_ids.max() >= topk.shape[0]):
+                raise ValueError(
+                    f"entity ids must lie in [0, {topk.shape[0]}), got "
+                    f"{entity_ids.min()}..{entity_ids.max()}")
+            width = min(k, topk.indices.shape[1])
+            return TopKAlignment(
+                source_ids=entity_ids,
+                target_ids=topk.indices[entity_ids, :width].copy(),
+                scores=topk.scores[entity_ids, :width].copy(),
+                approximate=topk.approximate,
+            )
+        source_norm, target_norm = self._normalized_states()
+        num_source = source_norm[0].shape[0]
+        num_target = target_norm[0].shape[0]
         if len(entity_ids) and (entity_ids.min() < 0
-                                or entity_ids.max() >= topk.shape[0]):
+                                or entity_ids.max() >= num_source):
             raise ValueError(
-                f"entity ids must lie in [0, {topk.shape[0]}), got "
+                f"entity ids must lie in [0, {num_source}), got "
                 f"{entity_ids.min()}..{entity_ids.max()}")
-        width = min(k, topk.indices.shape[1])
+        width = min(k, num_target)
+        if not len(entity_ids):
+            return TopKAlignment(
+                source_ids=entity_ids,
+                target_ids=np.empty((0, width), dtype=np.int64),
+                scores=np.empty((0, width), dtype=np.float64),
+                approximate=True)
+        subset = self._candidate_rows(entity_ids, width)
+        topk = _blockwise_topk_candidates(
+            [state[entity_ids] for state in source_norm], target_norm,
+            subset, k=k, block_size=DEFAULT_BLOCK_SIZE,
+            dtype=np.float64, csls_k=10, pre_normalized=True)
         return TopKAlignment(
             source_ids=entity_ids,
-            target_ids=topk.indices[entity_ids, :width].copy(),
-            scores=topk.scores[entity_ids, :width].copy(),
-            approximate=topk.approximate,
-        )
+            target_ids=topk.indices[:, :width].copy(),
+            scores=topk.scores[:, :width].copy(),
+            approximate=True)
 
     def with_decode(self, decode) -> "Aligner":
         """A sibling handle over the same fitted model with another decode spec.
@@ -425,7 +555,7 @@ class Aligner:
         return directory
 
     @classmethod
-    def load(cls, directory) -> "Aligner":
+    def load(cls, directory, *, mmap: bool = False) -> "Aligner":
         """Reconstruct a saved aligner; its decode is bit-identical to save time.
 
         ``align``/``rank`` serve straight from the persisted decode
@@ -436,6 +566,14 @@ class Aligner:
         regeneration; for custom data only the cached decode artefacts
         are available (``align``/``rank``/``evaluate`` still work from
         them).
+
+        ``mmap=True`` memory-maps the decode payloads read-only instead of
+        loading them into process memory: the ``decode.npz`` members are
+        unpacked once into a ``.mmap_cache/`` directory beside the
+        artifact and each array is ``np.load(..., mmap_mode="r")``-mapped,
+        so serving worker pools (and co-hosted processes) share a single
+        page-cache copy of the embedding tables and row gathers touch only
+        the pages they read.
         """
         directory = Path(directory)
         spec_path = directory / SPEC_FILENAME
@@ -448,20 +586,23 @@ class Aligner:
                              f"(this build reads {_ARTIFACT_VERSION})")
         spec = PipelineSpec.from_dict(payload["spec"])
 
-        with np.load(directory / DECODE_FILENAME) as arrays:
-            rounds = int(payload["num_rounds"])
-            states = ([arrays[f"source_state_{i}"] for i in range(rounds)],
-                      [arrays[f"target_state_{i}"] for i in range(rounds)])
-            train_pairs = (arrays["train_pairs"]
-                           if "train_pairs" in arrays.files else None)
-            test_pairs = (arrays["test_pairs"]
-                          if "test_pairs" in arrays.files else None)
-            row_candidates = None
-            if payload.get("has_candidates"):
-                row_candidates = RowCandidates(
-                    indptr=arrays["candidates_indptr"],
-                    indices=arrays["candidates_indices"],
-                    num_columns=int(payload["num_targets"]))
+        if mmap:
+            arrays = _mmap_npz(directory / DECODE_FILENAME,
+                               directory / ".mmap_cache")
+        else:
+            with np.load(directory / DECODE_FILENAME) as loaded:
+                arrays = {name: loaded[name] for name in loaded.files}
+        rounds = int(payload["num_rounds"])
+        states = ([arrays[f"source_state_{i}"] for i in range(rounds)],
+                  [arrays[f"target_state_{i}"] for i in range(rounds)])
+        train_pairs = arrays.get("train_pairs")
+        test_pairs = arrays.get("test_pairs")
+        row_candidates = None
+        if payload.get("has_candidates"):
+            row_candidates = RowCandidates(
+                indptr=arrays["candidates_indptr"],
+                indices=arrays["candidates_indices"],
+                num_columns=int(payload["num_targets"]))
 
         params_path: Path | None = None
         if payload.get("has_model"):
@@ -478,3 +619,26 @@ class Aligner:
         return cls(spec, states=states, row_candidates=row_candidates,
                    candidates_ready=True, train_pairs=train_pairs,
                    test_pairs=test_pairs, params_path=params_path)
+
+
+def _mmap_npz(npz_path: Path, cache_dir: Path) -> dict[str, np.ndarray]:
+    """Extract ``.npz`` members once and memory-map them read-only.
+
+    ``np.load(..., mmap_mode=...)`` cannot map members inside a zip
+    archive, so they are unpacked (once, keyed on the archive's
+    size + mtime) into ``cache_dir`` and each ``.npy`` is mapped
+    read-only.  Re-saving the artifact invalidates the stamp and the
+    members are re-extracted on the next mapped load.
+    """
+    stat = npz_path.stat()
+    token = f"{stat.st_size}:{stat.st_mtime_ns}"
+    stamp = cache_dir / "source.stamp"
+    if not (stamp.exists() and stamp.read_text() == token):
+        if cache_dir.exists():
+            shutil.rmtree(cache_dir)
+        cache_dir.mkdir(parents=True)
+        with zipfile.ZipFile(npz_path) as archive:
+            archive.extractall(cache_dir)
+        stamp.write_text(token)
+    return {member.stem: np.load(member, mmap_mode="r")
+            for member in sorted(cache_dir.glob("*.npy"))}

@@ -1,0 +1,36 @@
+"""Alignment-as-a-service: long-lived serving over persisted Aligner artifacts.
+
+One process loads an artifact once and answers many concurrent
+``rank(entity_ids, k)`` queries fast:
+
+* :class:`ServingEngine` — owns the loaded
+  :class:`~repro.pipeline.Aligner`; a micro-batcher coalesces requests
+  arriving within a small window into one row-subset decode over the
+  union of rows, a bounded worker pool executes batches, and an LRU
+  result cache serves hot entities without touching the decoder.
+  Results are bit-identical to direct ``Aligner.rank`` calls.
+* :class:`ServingServer` / :class:`ServingClient` — a newline-delimited
+  JSON protocol (the ``repro serve`` CLI speaks it over stdin/stdout)
+  and its in-process client.
+* Graceful lifecycle — artifact hot-swap that drains in-flight batches
+  before an atomic switch, per-request timeouts with structured errors,
+  and clean shutdown.
+"""
+
+from .batching import MicroBatcher
+from .cache import ResultCache
+from .engine import PendingRequest, ServingEngine, ServingError, ServingTimeout
+from .protocol import ServingClient, ServingServer
+from .workers import WorkerPool
+
+__all__ = [
+    "MicroBatcher",
+    "PendingRequest",
+    "ResultCache",
+    "ServingClient",
+    "ServingEngine",
+    "ServingError",
+    "ServingServer",
+    "ServingTimeout",
+    "WorkerPool",
+]

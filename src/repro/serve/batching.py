@@ -1,0 +1,84 @@
+"""Micro-batching: coalesce concurrent requests into one decode batch.
+
+Small-query latency is dominated by per-call overhead (candidate gather,
+top-k bookkeeping, Python dispatch), not by the dot products themselves.
+The :class:`MicroBatcher` therefore runs one collector thread over a
+request queue: the first arrival opens a batch, further arrivals within
+``window`` seconds join it (up to ``max_batch`` total entity rows), and
+the whole batch is handed to a dispatch callback — the engine then
+decodes the union of rows once and scatters per-request results.  Because
+the row-subset decode is bit-identical regardless of batch composition
+(see :meth:`repro.pipeline.Aligner.rank_rows`), coalescing never changes
+results, only amortises overhead.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+__all__ = ["MicroBatcher"]
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Collector thread turning a request stream into dispatched batches.
+
+    ``dispatch(batch)`` receives a non-empty list of request objects; each
+    request must expose ``num_entities`` (its row count, used against
+    ``max_batch``).  Dispatch runs on the collector thread — it should
+    hand work off quickly (the engine submits to its worker pool).
+    """
+
+    def __init__(self, dispatch, window: float = 0.002, max_batch: int = 64):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self._dispatch = dispatch
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._queue: queue.Queue = queue.Queue()
+        self._stopping = False
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._thread.start()
+
+    def submit(self, request) -> None:
+        self._queue.put(request)
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            size = first.num_entities
+            deadline = time.monotonic() + self.window
+            stop_after = False
+            while size < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+                size += item.num_entities
+            self._dispatch(batch)
+            if stop_after:
+                return
+
+    def close(self) -> None:
+        """Stop the collector; queued requests are still dispatched first."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self._queue.put(_STOP)
+        self._thread.join()

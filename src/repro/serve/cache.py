@@ -1,0 +1,82 @@
+"""Thread-safe LRU result cache for served rank rows.
+
+Keys are ``(generation, fingerprint, k, entity_id)`` tuples — the engine's
+artifact generation and the aligner's decode fingerprint together pin the
+exact decode configuration, so a cached row can never outlive the
+parameters that produced it (hot-swap bumps the generation and clears the
+cache).  Values are per-entity ``(target_ids, scores, approximate)``
+triples; serving a hot entity is then a dictionary lookup instead of a
+decode.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU mapping with hit/miss/eviction counters."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key):
+        """The cached value (refreshing its recency) or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) ``key``, evicting the least recent overflow."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def keys(self) -> list:
+        """Current keys, least recent first (tests inspect eviction order)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> int:
+        """Drop every entry (hot-swap invalidation); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def stats(self) -> dict:
+        """Counter snapshot; ``hit_rate`` is over all lookups so far."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,150 @@
+"""Newline-delimited JSON protocol over a :class:`ServingEngine`.
+
+One request per line, one response per line::
+
+    {"op": "rank", "id": 1, "entities": [3, 17], "k": 5}
+    {"id": 1, "ok": true, "result": {"entities": [3, 17], "k": 5,
+     "targets": [[...], [...]], "scores": [[...], [...]],
+     "approximate": true}}
+
+Operations: ``rank`` (``entities``, optional ``k`` / ``timeout``),
+``stats``, ``swap`` (``artifact`` directory, optional ``mmap``), ``ping``
+and ``shutdown``.  Failures answer ``{"ok": false, "error": {"code",
+"message"}}`` with codes ``bad_request`` / ``timeout`` / ``overloaded`` /
+``shutdown`` / ``internal``; a failed request never takes the server
+down.  The ``repro serve`` CLI speaks this protocol over stdin/stdout;
+:class:`ServingClient` speaks it in-process (tests and embedding).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import ServingEngine, ServingError
+
+__all__ = ["ServingServer", "ServingClient"]
+
+
+class ServingServer:
+    """Line-oriented request handler around one engine."""
+
+    def __init__(self, engine: ServingEngine):
+        self.engine = engine
+        self._shutdown = False
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> str:
+        """Process one JSON request line; always returns one response line."""
+        request_id = None
+        try:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ServingError("bad_request", f"invalid JSON: {error}")
+            if not isinstance(payload, dict):
+                raise ServingError("bad_request", "request must be an object")
+            request_id = payload.get("id")
+            result = self._handle(payload)
+            response = {"ok": True, "result": result}
+        except ServingError as error:
+            response = {"ok": False, "error": error.to_payload()}
+        except Exception as error:  # defensive: the server must survive
+            response = {"ok": False,
+                        "error": {"code": "internal",
+                                  "message": f"{type(error).__name__}: {error}"}}
+        if request_id is not None:
+            response["id"] = request_id
+        return json.dumps(response)
+
+    def _handle(self, payload: dict) -> dict:
+        op = payload.get("op")
+        if op == "ping":
+            return {"pong": True, "generation": self.engine.generation}
+        if op == "stats":
+            return self.engine.stats()
+        if op == "rank":
+            entities = payload.get("entities")
+            if not isinstance(entities, list) or not entities:
+                raise ServingError("bad_request",
+                                   "'entities' must be a non-empty list")
+            table = self.engine.rank(entities, payload.get("k"),
+                                     timeout=payload.get("timeout"))
+            return {
+                "entities": [int(e) for e in table.source_ids],
+                "k": int(table.k),
+                "targets": [[int(t) for t in row] for row in table.target_ids],
+                "scores": [[float(s) for s in row] for row in table.scores],
+                "approximate": bool(table.approximate),
+            }
+        if op == "swap":
+            artifact = payload.get("artifact")
+            if not artifact:
+                raise ServingError("bad_request", "'artifact' is required")
+            return self.engine.swap_artifact(
+                artifact, mmap=bool(payload.get("mmap", True)))
+        if op == "shutdown":
+            self._shutdown = True
+            return {"stopping": True}
+        raise ServingError("bad_request", f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    def serve_forever(self, stdin, stdout) -> None:
+        """Serve line requests from ``stdin`` until EOF or ``shutdown``."""
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            stdout.write(self.handle_line(line) + "\n")
+            stdout.flush()
+            if self._shutdown:
+                break
+        self.engine.close()
+
+
+class ServingClient:
+    """In-process client speaking the JSON protocol against a server.
+
+    Exercises the exact encode/decode path the stdio transport uses, so a
+    test driving this client covers the wire protocol end to end.
+    """
+
+    def __init__(self, server: ServingServer):
+        self._server = server
+        self._next_id = 0
+
+    def request(self, payload: dict) -> dict:
+        """One protocol round trip; raises :class:`ServingError` on failure."""
+        self._next_id += 1
+        payload = dict(payload, id=self._next_id)
+        response = json.loads(self._server.handle_line(json.dumps(payload)))
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServingError(error.get("code", "internal"),
+                               error.get("message", "unknown failure"))
+        return response["result"]
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def rank(self, entities, k: int | None = None,
+             timeout: float | None = None) -> dict:
+        payload = {"op": "rank", "entities": list(entities)}
+        if k is not None:
+            payload["k"] = int(k)
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def swap(self, artifact, mmap: bool = True) -> dict:
+        return self.request({"op": "swap", "artifact": str(artifact),
+                             "mmap": mmap})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,73 @@
+"""Bounded worker pool executing decode batches.
+
+A fixed number of daemon threads drain a bounded work queue.  The bound
+is the serving backpressure: when the queue is full, :meth:`submit`
+refuses instead of buffering without limit, and the engine fails the
+affected requests with a structured ``overloaded`` error.  Workers wrap
+every task in a broad ``except`` so a failing batch can never take a
+worker down — the task itself is responsible for routing its error to
+the requests it carries.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["WorkerPool"]
+
+_STOP = object()
+
+
+class WorkerPool:
+    """Fixed-size thread pool over a bounded FIFO work queue."""
+
+    def __init__(self, num_workers: int = 2, queue_size: int = 128):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if queue_size <= 0:
+            raise ValueError("queue_size must be positive")
+        self.num_workers = int(num_workers)
+        self._queue: queue.Queue = queue.Queue(maxsize=int(queue_size))
+        self._closed = False
+        #: Exceptions that escaped a task (the worker survived them).
+        self.task_failures = 0
+        self._failure_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True,
+                             name=f"repro-serve-worker-{index}")
+            for index in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, task) -> bool:
+        """Enqueue ``task`` (a zero-argument callable); False when full."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(task)
+            return True
+        except queue.Full:
+            return False
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is _STOP:
+                return
+            try:
+                task()
+            except Exception:
+                with self._failure_lock:
+                    self.task_failures += 1
+
+    def close(self) -> None:
+        """Drain outstanding tasks, then stop every worker."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()

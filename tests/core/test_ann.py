@@ -9,6 +9,7 @@ from repro.core.alignment import cosine_similarity, mutual_nearest_pairs
 from repro.core.ann import (
     AnnConfig,
     IVFIndex,
+    IVFWarmStart,
     RandomHyperplaneLSH,
     RowCandidates,
     flops_counter,
@@ -133,6 +134,79 @@ class TestIVFIndex:
         index = IVFIndex(target, n_clusters=4, seed=0)
         with pytest.raises(ValueError):
             index.candidates(target[:3], nprobe=0)
+
+
+class TestIVFWarmStart:
+    def test_store_and_get_guard_shapes(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        warm = IVFWarmStart()
+        assert len(warm) == 0
+        assert warm.get("forward", 6, target.shape[1]) is None
+        centroids = target[:6].copy()
+        warm.store("forward", centroids)
+        assert len(warm) == 1
+        assert np.array_equal(warm.get("forward", 6, target.shape[1]), centroids)
+        # a stale shape (different cluster count or dimension) is never reused
+        assert warm.get("forward", 7, target.shape[1]) is None
+        assert warm.get("forward", 6, target.shape[1] + 1) is None
+
+    def test_warm_start_from_converged_centroids_is_bit_identical(
+            self, clustered_embeddings):
+        _, target = clustered_embeddings
+        # enough Lloyd iterations that the cold index converges (the
+        # early-exit fires), so its centroids are self-consistent means
+        cold = IVFIndex(target, n_clusters=6, kmeans_iters=64, seed=0)
+        warm = IVFIndex(target, n_clusters=6, kmeans_iters=64, seed=999,
+                        init_centroids=cold.centroids)
+        assert np.array_equal(warm.centroids, cold.centroids)
+        assert np.array_equal(warm.assignments, cold.assignments)
+        assert np.array_equal(warm.bucket_indices, cold.bucket_indices)
+
+    def test_mismatched_init_shape_falls_back_to_cold_start(
+            self, clustered_embeddings):
+        _, target = clustered_embeddings
+        cold = IVFIndex(target, n_clusters=6, seed=3)
+        stale = IVFIndex(target, n_clusters=6, seed=3,
+                         init_centroids=np.zeros((9, target.shape[1])))
+        assert np.array_equal(stale.centroids, cold.centroids)
+        assert np.array_equal(stale.assignments, cold.assignments)
+
+    def test_generate_candidates_reuses_and_refreshes_centroids(
+            self, clustered_embeddings):
+        source, target = clustered_embeddings
+        config = AnnConfig(n_clusters=8, nprobe=2, kmeans_iters=64, seed=0)
+        warm = IVFWarmStart()
+        with flops_counter() as cold_flops:
+            first = generate_candidates("ivf", source, target, config,
+                                        warm_start=warm)
+        assert len(warm) == 1  # the forward quantiser was recorded
+        with flops_counter() as warm_flops:
+            second = generate_candidates("ivf", source, target, config,
+                                         warm_start=warm)
+        # same data + converged warm centroids: identical candidate sets,
+        # but Lloyd exits after one unchanged assignment pass
+        assert np.array_equal(first.indices, second.indices)
+        assert np.array_equal(first.indptr, second.indptr)
+        assert warm_flops.cells < cold_flops.cells
+
+    def test_escalated_generation_warms_both_directions(
+            self, clustered_embeddings):
+        source, target = clustered_embeddings
+        config = AnnConfig(n_clusters=8, exact_escalation=True, seed=0)
+        warm = IVFWarmStart()
+        cold = generate_candidates("ivf", source, target, config)
+        warmed = generate_candidates("ivf", source, target, config,
+                                     warm_start=warm)
+        assert len(warm) == 2  # forward and reverse quantisers
+        # first warm call is seeded identically to the cold path
+        assert np.array_equal(cold.indices, warmed.indices)
+        # exactness survives any centroid history: the escalated decode's
+        # top-1 stays exact when candidates come from reused centroids
+        again = generate_candidates("ivf", source, target, config,
+                                    warm_start=warm)
+        exact = blockwise_topk(source, target, k=1)
+        approx = blockwise_topk(source, target, k=1, row_candidates=again)
+        assert recall_at_k(approx.indices, exact.indices, k=1) == 1.0
 
 
 class TestLSH:

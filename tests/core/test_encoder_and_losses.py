@@ -11,6 +11,7 @@ from repro.core import (
     dirichlet_energy_tensor,
     energy_bound_penalty,
 )
+from repro.core.ann import flops_counter
 from repro.core.encoder import MultiModalEncoder
 from repro.kg.laplacian import dirichlet_energy
 
@@ -79,6 +80,22 @@ class TestMultiModalEncoder:
         missing = [name for name, param in encoder.named_parameters()
                    if param.grad is None and "target" not in name]
         assert not missing, f"parameters without gradient: {missing}"
+
+    def test_forward_meters_flops(self, encoder_setup):
+        """Satellite: encoder forwards report into the decode FLOPs meter."""
+        encoder, _, task = encoder_setup
+        with flops_counter() as counter:
+            encoder("source", task.source.features.features,
+                    task.source.adjacency)
+        assert counter.cells > 0
+        # shape-derived, so every additional forward adds its own cells
+        with flops_counter() as double:
+            encoder("source", task.source.features.features,
+                    task.source.adjacency)
+            encoder("target", task.target.features.features,
+                    task.target.adjacency)
+        per_side = counter.cells
+        assert double.cells > per_side  # both sides were metered
 
 
 class TestContrastiveLoss:

@@ -12,6 +12,7 @@ from repro.core import (
     TrainingConfig,
     build_training_loop,
 )
+from repro.core.ann import IVFWarmStart, flops_counter
 from repro.core.similarity import TopKSimilarity
 
 
@@ -164,6 +165,50 @@ class TestCandidateDecodeThreading:
                                         candidates="ivf")).fit()
         assert len(result.history.evaluations) == 2
         assert 0.0 <= result.metrics.hits_at_1 <= 1.0
+
+
+class TestIVFWarmStartAcrossRounds:
+    """Satellite: reuse each round's k-means centroids for the next round's
+    pseudo-seed quantiser — identical metrics, cheaper re-fits."""
+
+    @staticmethod
+    def _fit(tiny_task, quick_config, *, warm: bool):
+        config = TrainingConfig(epochs=4, eval_every=2, seed=0,
+                                candidates="ivf", iterative=True,
+                                iterative_rounds=2, iterative_epochs=2)
+        model = DESAlign(tiny_task, quick_config)
+        trainer = Trainer(model, tiny_task, config)
+        if not warm:
+            trainer.loop._ann_warm_start = None
+        with flops_counter() as counter:
+            result = trainer.fit()
+        return result, counter.cells, trainer.loop._ann_warm_start
+
+    def test_ivf_loop_carries_a_warm_start(self, tiny_task, quick_config):
+        model = DESAlign(tiny_task, quick_config)
+        ivf = Trainer(model, tiny_task,
+                      TrainingConfig(epochs=2, eval_every=0, candidates="ivf"))
+        assert isinstance(ivf.loop._ann_warm_start, IVFWarmStart)
+        exhaustive = Trainer(DESAlign(tiny_task, quick_config), tiny_task,
+                             TrainingConfig(epochs=2, eval_every=0))
+        assert exhaustive.loop._ann_warm_start is None
+
+    def test_metrics_unchanged_and_fit_cost_drops(self, tiny_task, quick_config):
+        cold, cold_cells, _ = self._fit(tiny_task, quick_config, warm=False)
+        warm, warm_cells, carrier = self._fit(tiny_task, quick_config,
+                                              warm=True)
+        # escalation proves every pseudo-seed top-1 exact, so the selected
+        # pairs — and everything downstream — are centroid-independent
+        assert cold.history.losses == warm.history.losses
+        assert cold.history.pseudo_pairs == warm.history.pseudo_pairs
+        for (_, a), (_, b) in zip(cold.history.evaluations,
+                                  warm.history.evaluations):
+            assert a.as_dict() == b.as_dict()
+        assert cold.metrics.as_dict() == warm.metrics.as_dict()
+        # both escalation directions were quantised and recorded ...
+        assert carrier is not None and len(carrier) == 2
+        # ... and reusing centroids made the whole fit measurably cheaper
+        assert warm_cells < cold_cells
 
 
 class TestSeedDeterminism:

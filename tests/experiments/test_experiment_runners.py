@@ -90,6 +90,13 @@ class TestEfficiency:
         desalign_row = result.filter(model="DESAlign")[0]
         assert propagation_row["decode_seconds"] < desalign_row["train_seconds"]
 
+    def test_end_to_end_flops_row_covers_encode_and_decode(self):
+        result = run_efficiency(scale=TINY, models=("DESAlign",))
+        row = result.filter(model="flops-encode-decode")[0]
+        assert row["encode_cells"] > 0
+        assert row["decode_cells"] > 0
+        assert row["total_cells"] == row["encode_cells"] + row["decode_cells"]
+
 
 class TestFig3Ablation:
     def test_variants_cover_modalities_losses_and_propagation(self):

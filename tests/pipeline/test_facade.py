@@ -123,6 +123,38 @@ class TestCaching:
         assert len(calls) == 1  # the quantiser is fitted once and reused
         assert aligner.align(3).approximate
 
+    def test_repeated_rank_reuses_candidate_slices(self, tmp_path):
+        spec = small_spec(decode="blockwise", candidates="ivf",
+                          ann=AnnConfig(n_clusters=6, nprobe=1))
+        AlignmentPipeline.from_spec(spec).fit().save(tmp_path / "artifact")
+        aligner = Aligner.load(tmp_path / "artifact")
+        ids = [3, 9, 14]
+        first = aligner.rank(ids, k=4)
+        misses = aligner.candidate_slice_misses
+        assert misses == len(ids)
+        second = aligner.rank(ids, k=4)
+        # the second identical call regenerated nothing: every padded
+        # per-row candidate slice came from the cache
+        assert aligner.candidate_slice_misses == misses
+        assert aligner.candidate_slice_hits >= len(ids)
+        assert np.array_equal(first.target_ids, second.target_ids)
+        assert np.array_equal(first.scores, second.scores)
+        # partial overlap only misses on the genuinely new rows
+        aligner.rank([3, 9, 21], k=4)
+        assert aligner.candidate_slice_misses == misses + 1
+
+    def test_rank_rows_matches_full_align_on_restricted_artifact(self, tmp_path):
+        spec = small_spec(decode="blockwise", candidates="ivf",
+                          ann=AnnConfig(n_clusters=6, nprobe=1))
+        AlignmentPipeline.from_spec(spec).fit().save(tmp_path / "artifact")
+        aligner = Aligner.load(tmp_path / "artifact")
+        ids = np.array([1, 17, 30])
+        subset = aligner.rank(ids, k=5)   # decodes only the requested rows
+        full = aligner.align(k=5)         # whole-corpus decode
+        assert np.array_equal(subset.target_ids, full.target_ids[ids])
+        assert np.array_equal(subset.scores, full.scores[ids])
+        assert subset.approximate
+
 
 class TestLegacyParity:
     def test_facade_metrics_equal_legacy_trainer_path(self):
@@ -231,6 +263,35 @@ class TestPersistence:
         sibling = loaded.with_decode(DecodeSpec(k=3))
         assert np.array_equal(sibling.align().target_ids,
                               loaded.align(k=3).target_ids)
+
+    def test_mmap_load_is_bit_identical_and_reuses_extraction(
+            self, fitted, tmp_path):
+        directory = fitted.save(tmp_path / "artifact")
+        mapped = Aligner.load(directory, mmap=True)
+        # decode states are served from read-only memory maps ...
+        states = mapped.decode_states()
+        assert all(isinstance(state, np.memmap)
+                   for side in states for state in side)
+        assert all(not state.flags.writeable
+                   for side in states for state in side)
+        # ... and every decode agrees bit for bit with the in-memory load
+        plain = Aligner.load(directory)
+        assert np.array_equal(mapped.align().scores, plain.align().scores)
+        assert np.array_equal(mapped.rank([0, 5]).scores,
+                              plain.rank([0, 5]).scores)
+        # a second mmap load reuses the extracted cache (stamp unchanged)
+        stamp = directory / ".mmap_cache" / "source.stamp"
+        token = stamp.read_text()
+        again = Aligner.load(directory, mmap=True)
+        assert stamp.read_text() == token
+        assert np.array_equal(again.align().scores, plain.align().scores)
+
+    def test_decode_fingerprint_tracks_the_spec(self, fitted, tmp_path):
+        directory = fitted.save(tmp_path / "artifact")
+        loaded = Aligner.load(directory)
+        assert loaded.decode_fingerprint() == fitted.decode_fingerprint()
+        sibling = fitted.with_decode(DecodeSpec(k=5, use_propagation=False))
+        assert sibling.decode_fingerprint() != fitted.decode_fingerprint()
 
     def test_load_rejects_missing_and_foreign_directories(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="spec.json"):

@@ -1,0 +1,49 @@
+"""Shared fixtures: one tiny fitted artifact pair for the serving tests.
+
+Two artifacts are saved from differently-seeded fits of the same spec, so
+hot-swap tests can tell exactly which artifact answered a request (their
+decode outputs differ).  Both use IVF candidates — the serving fast path
+the micro-batcher amortises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ann import AnnConfig
+from repro.core.config import TrainingConfig
+from repro.pipeline import (
+    Aligner,
+    AlignmentPipeline,
+    DataSpec,
+    DecodeSpec,
+    ModelSpec,
+    PipelineSpec,
+)
+
+
+def serving_spec(training_seed: int = 0, **decode_kwargs) -> PipelineSpec:
+    decode_kwargs.setdefault("decode", "blockwise")
+    decode_kwargs.setdefault("candidates", "ivf")
+    decode_kwargs.setdefault("ann", AnnConfig(n_clusters=6, nprobe=1))
+    return PipelineSpec(
+        data=DataSpec(dataset="FBDB15K", num_entities=40, seed_ratio=0.3, seed=0),
+        model=ModelSpec(name="DESAlign", hidden_dim=16,
+                        options={"propagation_iters": 2}),
+        training=TrainingConfig(epochs=2, eval_every=0, seed=training_seed),
+        decode=DecodeSpec(k=5, **decode_kwargs),
+    )
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """(v1_dir, v2_dir, v1_expected, v2_expected) — expected = full align."""
+    root = tmp_path_factory.mktemp("serving-artifacts")
+    v1 = AlignmentPipeline.from_spec(serving_spec(training_seed=0)).fit()
+    v2 = AlignmentPipeline.from_spec(serving_spec(training_seed=1)).fit()
+    v1.save(root / "v1")
+    v2.save(root / "v2")
+    v1_expected = Aligner.load(root / "v1").align(k=5)
+    v2_expected = Aligner.load(root / "v2").align(k=5)
+    assert not np.array_equal(v1_expected.scores, v2_expected.scores), \
+        "hot-swap tests need distinguishable artifacts"
+    return root / "v1", root / "v2", v1_expected, v2_expected

@@ -1,0 +1,75 @@
+"""ResultCache: LRU order, eviction accounting, invalidation."""
+
+import threading
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestLRU:
+    def test_eviction_follows_recency_order(self):
+        cache = ResultCache(max_entries=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == 1          # refresh a: b is now least recent
+        cache.put("d", 4)
+        assert cache.keys() == ["c", "a", "d"]
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)                  # refresh, not insert
+        cache.put("c", 3)                   # evicts b, not a
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+        assert len(cache) == 2
+
+    def test_counters_and_hit_rate(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        assert cache.get("y") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+
+    def test_clear_reports_dropped_entries(self):
+        cache = ResultCache(max_entries=8)
+        for index in range(5):
+            cache.put(index, index)
+        assert cache.clear() == 5
+        assert len(cache) == 0
+        assert cache.get(0) is None         # post-clear lookups miss
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            ResultCache(max_entries=0)
+
+    def test_concurrent_access_is_consistent(self):
+        cache = ResultCache(max_entries=64)
+        errors = []
+
+        def worker(base):
+            try:
+                for index in range(200):
+                    key = (base + index) % 100
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(base,))
+                   for base in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

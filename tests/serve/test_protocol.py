@@ -1,0 +1,112 @@
+"""JSON-lines protocol: round trips, error codes, stream serving."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingClient, ServingEngine, ServingError, ServingServer
+
+
+@pytest.fixture()
+def server(artifacts):
+    v1, _, _, _ = artifacts
+    engine = ServingEngine.from_artifact(v1, mmap=True, batch_window=0.001)
+    yield ServingServer(engine)
+    engine.close()
+
+
+class TestRoundTrips:
+    def test_rank_round_trip_matches_direct_decode(self, artifacts, server):
+        _, _, expected, _ = artifacts
+        client = ServingClient(server)
+        result = client.rank([2, 7, 11], k=5)
+        assert result["entities"] == [2, 7, 11]
+        assert result["k"] == 5
+        assert result["approximate"] is True
+        assert np.array_equal(np.asarray(result["targets"]),
+                              expected.target_ids[[2, 7, 11]])
+        assert np.array_equal(np.asarray(result["scores"]),
+                              expected.scores[[2, 7, 11]])
+
+    def test_ping_and_stats(self, server):
+        client = ServingClient(server)
+        assert client.ping()["pong"] is True
+        stats = client.stats()
+        assert stats["generation"] == 1
+        assert "cache" in stats and "hit_rate" in stats["cache"]
+
+    def test_swap_op_switches_artifact(self, artifacts, server):
+        _, v2, _, expected2 = artifacts
+        client = ServingClient(server)
+        info = client.swap(v2)
+        assert info["generation"] == 2
+        result = client.rank([3, 8], k=5)
+        assert np.array_equal(np.asarray(result["scores"]),
+                              expected2.scores[[3, 8]])
+
+    def test_response_echoes_request_id(self, server):
+        response = json.loads(server.handle_line(
+            '{"op": "ping", "id": "abc-123"}'))
+        assert response["id"] == "abc-123" and response["ok"]
+
+
+class TestErrors:
+    def test_invalid_json_is_bad_request(self, server):
+        response = json.loads(server.handle_line("{not json"))
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+
+    def test_non_object_payload_is_bad_request(self, server):
+        response = json.loads(server.handle_line("[1, 2]"))
+        assert response["error"]["code"] == "bad_request"
+
+    def test_unknown_op_is_bad_request(self, server):
+        response = json.loads(server.handle_line('{"op": "frobnicate"}'))
+        assert response["error"]["code"] == "bad_request"
+        assert "frobnicate" in response["error"]["message"]
+
+    def test_rank_without_entities_is_bad_request(self, server):
+        client = ServingClient(server)
+        with pytest.raises(ServingError, match="non-empty"):
+            client.request({"op": "rank", "entities": []})
+
+    def test_out_of_range_entities_surface_their_code(self, server):
+        client = ServingClient(server)
+        with pytest.raises(ServingError) as info:
+            client.rank([123456])
+        assert info.value.code == "bad_request"
+
+    def test_swap_with_bogus_artifact_keeps_serving(self, artifacts, server):
+        _, _, expected, _ = artifacts
+        client = ServingClient(server)
+        with pytest.raises(ServingError):
+            client.swap("/nonexistent/artifact")
+        result = client.rank([1], k=5)  # the old artifact still serves
+        assert np.array_equal(np.asarray(result["scores"]),
+                              expected.scores[[1]])
+
+
+class TestStreamServing:
+    def test_serve_forever_over_text_streams(self, artifacts):
+        v1, _, expected, _ = artifacts
+        engine = ServingEngine.from_artifact(v1, batch_window=0.001)
+        server = ServingServer(engine)
+        stdin = io.StringIO(
+            '{"op": "ping", "id": 1}\n'
+            '\n'
+            '{"op": "rank", "id": 2, "entities": [0, 1], "k": 5}\n'
+            '{"op": "shutdown", "id": 3}\n'
+            '{"op": "ping", "id": 4}\n')  # never reached: shutdown stops first
+        stdout = io.StringIO()
+        server.serve_forever(stdin, stdout)
+        responses = [json.loads(line) for line in
+                     stdout.getvalue().strip().splitlines()]
+        assert [response["id"] for response in responses] == [1, 2, 3]
+        assert all(response["ok"] for response in responses)
+        assert np.array_equal(np.asarray(responses[1]["result"]["scores"]),
+                              expected.scores[[0, 1]])
+        # the engine was closed on the way out
+        with pytest.raises(ServingError):
+            engine.rank([0], 5)
