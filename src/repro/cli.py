@@ -23,6 +23,11 @@ Five sub-commands cover the common workflows without writing any Python:
     Run one of the registered table/figure experiments at a chosen scale and
     print (and optionally save) the regenerated table.
 
+``python -m repro.cli robustness``
+    Sweep corruption type x severity across the model zoo (declarative
+    :class:`~repro.pipeline.PerturbationSpec` injection) and print the
+    degradation summary; ``--fast`` smokes a tiny grid.
+
 ``python -m repro.cli datasets``
     List the benchmark presets and the 60-split evaluation suite.
 """
@@ -35,7 +40,9 @@ import sys
 
 from .baselines import MODEL_REGISTRY
 from .data.benchmarks import ALL_DATASETS, benchmark_suite
-from .experiments import ExperimentScale, list_experiments, run_experiment
+from .experiments import (CORRUPTIONS, DEFAULT_CORRUPTIONS, ROBUSTNESS_MODELS,
+                          ExperimentScale, list_experiments, run_experiment,
+                          run_robustness)
 from .pipeline import Aligner, AlignmentPipeline, DataSpec, ModelSpec, PipelineSpec
 
 __all__ = ["build_parser", "main"]
@@ -104,10 +111,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded work-queue depth; full = structured "
                             "'overloaded' errors (default 128)")
     serve.add_argument("--cache-size", type=int, default=4096,
-                       help="LRU result-cache entries (default 4096)")
+                       help="result-cache entries (default 4096)")
+    serve.add_argument("--cache-admission", choices=["frequency", "lru"],
+                       default="frequency",
+                       help="cache admission policy: 'frequency' gates "
+                            "inserts through a TinyLFU-style sketch so "
+                            "one-shot churn cannot evict the hot set; "
+                            "'lru' admits everything (default frequency)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="default per-request deadline in seconds "
                             "(default 30)")
+    faults = serve.add_argument_group(
+        "fault injection", "seeded faults on the decode path (testing / "
+        "chaos drills; all off by default)")
+    faults.add_argument("--fault-decode-failure-rate", type=float, default=0.0,
+                        help="probability a decode raises a structured "
+                             "injected error instead of running")
+    faults.add_argument("--fault-code", default="internal",
+                        help="error code injected decode failures carry "
+                             "(default internal; try overloaded/timeout "
+                             "to exercise client retries)")
+    faults.add_argument("--fault-latency", type=float, default=0.0,
+                        help="seconds of injected latency before a decode")
+    faults.add_argument("--fault-latency-rate", type=float, default=1.0,
+                        help="probability the latency fires (default 1.0)")
+    faults.add_argument("--fault-worker-death-rate", type=float, default=0.0,
+                        help="probability a batch kills its worker thread "
+                             "(the pool respawns a replacement)")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault schedule (default 0)")
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="sweep corruption type x severity across the model zoo")
+    robustness.add_argument("--fast", action="store_true",
+                            help="tiny smoke grid (one corruption, two "
+                                 "severities, two models, short training)")
+    robustness.add_argument("--dataset", default="FBDB15K", choices=ALL_DATASETS)
+    robustness.add_argument("--corruptions", default=None,
+                            help="comma-separated corruption axes "
+                                 f"(default {','.join(DEFAULT_CORRUPTIONS)}; "
+                                 f"available: {','.join(CORRUPTIONS)})")
+    robustness.add_argument("--severities", default=None,
+                            help="comma-separated severities in [0,1] "
+                                 "(default 0.0,0.3,0.6; 0.0 is the bit-exact "
+                                 "clean baseline)")
+    robustness.add_argument("--models", default=None,
+                            help="comma-separated registered models "
+                                 f"(default {','.join(ROBUSTNESS_MODELS)})")
+    robustness.add_argument("--entities", type=int, default=100)
+    robustness.add_argument("--epochs", type=int, default=60)
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument("--output", default=None, metavar="PATH.json",
+                            help="write the sweep as JSON here and the "
+                                 "rendered table beside it as PATH.txt")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures")
@@ -202,13 +259,25 @@ def _command_align(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace, stdin=None, stdout=None) -> int:
-    from .serve import ServingEngine, ServingServer
+    from .serve import FaultInjector, ServingEngine, ServingServer
 
+    injector = None
+    if (args.fault_decode_failure_rate > 0 or args.fault_latency > 0
+            or args.fault_worker_death_rate > 0):
+        injector = FaultInjector(
+            decode_failure_rate=args.fault_decode_failure_rate,
+            failure_code=args.fault_code,
+            latency=args.fault_latency,
+            latency_rate=args.fault_latency_rate,
+            worker_death_rate=args.fault_worker_death_rate,
+            seed=args.fault_seed)
+        print(f"fault injection ON: {injector.stats()}", file=sys.stderr)
     engine = ServingEngine.from_artifact(
         args.artifact, mmap=not args.no_mmap,
         batch_window=args.batch_window, max_batch=args.max_batch,
         pool_size=args.pool_size, queue_size=args.queue_size,
-        cache_size=args.cache_size, default_timeout=args.timeout)
+        cache_size=args.cache_size, default_timeout=args.timeout,
+        cache_admission=args.cache_admission, fault_injector=injector)
     server = ServingServer(engine)
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -216,6 +285,43 @@ def _command_serve(args: argparse.Namespace, stdin=None, stdout=None) -> int:
           f"(generation {engine.generation}); one JSON request per line, "
           "op in rank|stats|swap|ping|shutdown", file=sys.stderr)
     server.serve_forever(stdin, stdout)
+    return 0
+
+
+def _command_robustness(args: argparse.Namespace) -> int:
+    kwargs = {"dataset": args.dataset}
+    if args.fast:
+        scale = ExperimentScale(num_entities=min(args.entities, 40),
+                                epochs=min(args.epochs, 8), seed=args.seed)
+        kwargs.update(corruptions=("modality_dropout",),
+                      severities=(0.0, 0.6), models=("EVA", "DESAlign"))
+    else:
+        scale = ExperimentScale(num_entities=args.entities,
+                                epochs=args.epochs, seed=args.seed)
+    if args.corruptions:
+        kwargs["corruptions"] = tuple(
+            token for token in args.corruptions.split(",") if token)
+    if args.severities:
+        kwargs["severities"] = tuple(
+            float(token) for token in args.severities.split(",") if token)
+    if args.models:
+        kwargs["models"] = tuple(
+            token for token in args.models.split(",") if token)
+    result = run_robustness(scale=scale, **kwargs)
+    print(result.to_table())
+    print("\ndegradation (H@1):")
+    for entry in result.parameters["degradation"]:
+        print(f"  {entry['corruption']:>16s}  {entry['model']:<10s} "
+              f"clean={entry['clean_H@1']:.1f} worst={entry['worst_H@1']:.1f} "
+              f"drop={entry['drop_H@1']:.1f} "
+              f"slope={entry['slope_H@1_per_severity']:.1f}")
+    if args.output:
+        result.to_json(args.output)
+        text_path = args.output.rsplit(".", 1)[0] + ".txt"
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_table() + "\n")
+        print(f"\nsaved JSON results to {args.output} "
+              f"and the table to {text_path}")
     return 0
 
 
@@ -251,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_align(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "robustness":
+        return _command_robustness(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "datasets":

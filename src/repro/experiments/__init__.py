@@ -20,6 +20,9 @@ from .fig3_ablation import run_fig3_ablation, ablation_variants
 from .fig3_weak_supervision import run_fig3_weak_supervision
 from .fig4_propagation_iters import run_fig4_propagation
 from .energy_analysis import run_energy_analysis
+from .robustness import (CORRUPTIONS, DEFAULT_CORRUPTIONS, DEFAULT_SEVERITIES,
+                         ROBUSTNESS_MODELS, build_corrupted_task,
+                         run_robustness)
 from .registry import EXPERIMENTS, run_experiment, list_experiments
 
 __all__ = [
@@ -44,6 +47,12 @@ __all__ = [
     "run_fig3_weak_supervision",
     "run_fig4_propagation",
     "run_energy_analysis",
+    "run_robustness",
+    "build_corrupted_task",
+    "CORRUPTIONS",
+    "DEFAULT_CORRUPTIONS",
+    "DEFAULT_SEVERITIES",
+    "ROBUSTNESS_MODELS",
     "EXPERIMENTS",
     "run_experiment",
     "list_experiments",

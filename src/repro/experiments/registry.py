@@ -15,6 +15,7 @@ from .fig3_ablation import run_fig3_ablation
 from .fig3_weak_supervision import run_fig3_weak_supervision
 from .fig4_propagation_iters import run_fig4_propagation
 from .reporting import ExperimentResult
+from .robustness import run_robustness
 from .runner import ExperimentScale, QUICK_SCALE
 from .table2_text_ratio import run_table2
 from .table3_image_ratio import run_table3
@@ -34,6 +35,8 @@ EXPERIMENTS = {
     "fig3_right": (run_fig3_weak_supervision, "Fig. 3 (right) — weakly supervised sweep"),
     "fig4": (run_fig4_propagation, "Fig. 4 — propagation iteration sweep"),
     "fig_energy": (run_energy_analysis, "Sec. III — Dirichlet-energy over-smoothing analysis"),
+    "robustness": (run_robustness, "Robustness — graceful degradation under "
+                                   "declarative corruption injection"),
 }
 
 

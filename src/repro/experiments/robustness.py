@@ -1,0 +1,163 @@
+"""Robustness sweep — graceful degradation under declarative corruption.
+
+The paper's central claim is that DESAlign degrades *gracefully* under
+semantic inconsistency where baselines fall off a cliff.  This runner
+stresses that claim far beyond the two hand-rolled ratio tables: every
+corruption the :class:`~repro.pipeline.PerturbationSpec` section declares
+(modality dropout, mislabelled seed pairs, Gaussian feature noise, edge
+deletion / rewiring, degree skew) is swept over a severity grid and the
+full model zoo, producing one H@1 / H@10 / MRR cell per
+``corruption x severity x model`` plus a degradation summary (absolute
+H@1 drop and least-squares slope per model and corruption).
+
+Every model inside one ``(corruption, severity)`` cell trains on the
+*identical* corrupted task — the perturbation is applied once, by the
+pipeline facade, under the sweep's fixed seed — so differences between
+rows are attributable to the models, not to corruption sampling noise.
+Severity ``0.0`` is a bit-exact no-op in the facade, so the clean cells
+are computed once from the unperturbed pipeline and shared across
+corruptions (they are bit-identical by construction).
+
+Rows store metrics as *unrounded* percentages: the JSON stays exact for
+downstream assertions (the robustness benchmark compares clean cells
+bitwise against an unperturbed run) while the rendered table still shows
+one decimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.task import PreparedTask
+from ..pipeline import (AlignmentPipeline, ModelSpec, PerturbationSpec,
+                        PipelineSpec)
+from .reporting import ExperimentResult
+from .runner import ExperimentScale, QUICK_SCALE, run_cell
+
+__all__ = ["CORRUPTIONS", "DEFAULT_CORRUPTIONS", "DEFAULT_SEVERITIES",
+           "ROBUSTNESS_MODELS", "build_corrupted_task", "run_robustness"]
+
+#: Every corruption axis the PerturbationSpec exposes as a single severity.
+CORRUPTIONS = ("modality_dropout", "seed_noise", "feature_noise",
+               "edge_deletion", "edge_rewiring", "degree_skew")
+
+#: Default sweep axes: the paper's missing-modality scenario plus the two
+#: cheapest structure/supervision corruptions (the full set is available
+#: via ``corruptions=CORRUPTIONS``).
+DEFAULT_CORRUPTIONS = ("modality_dropout", "seed_noise", "edge_deletion")
+
+#: Default severity grid; 0.0 is the (shared, bit-exact) clean baseline.
+DEFAULT_SEVERITIES = (0.0, 0.3, 0.6)
+
+#: DESAlign plus two strong multi-modal baselines.
+ROBUSTNESS_MODELS = ("EVA", "MEAformer", "DESAlign")
+
+
+def perturbation_for(corruption: str, severity: float,
+                     seed: int = 0) -> PerturbationSpec:
+    """The spec section putting all of ``severity`` on one corruption axis."""
+    if corruption not in CORRUPTIONS:
+        raise ValueError(f"unknown corruption {corruption!r}; "
+                         f"known: {CORRUPTIONS}")
+    return PerturbationSpec(**{corruption: severity}, seed=seed)
+
+
+def build_corrupted_task(dataset: str, scale: ExperimentScale,
+                         corruption: str, severity: float) -> PreparedTask:
+    """One corrupted prepared task, shared by every model of the cell.
+
+    Goes through :meth:`AlignmentPipeline.build_task` — the same code
+    path ``fit`` takes — so a zero severity reproduces the unperturbed
+    pipeline bit for bit.
+    """
+    spec = PipelineSpec(
+        data=scale.data_spec(dataset),
+        model=ModelSpec(hidden_dim=scale.hidden_dim),
+        perturbation=perturbation_for(corruption, severity, seed=scale.seed),
+    )
+    return AlignmentPipeline.from_spec(spec).build_task()
+
+
+def _percent(metrics) -> dict[str, float]:
+    """Unrounded percentage columns (reporting.format_metrics rounds)."""
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    return {key: 100.0 * value for key, value in metrics.items()}
+
+
+def _degradation_summary(result: ExperimentResult, corruptions, severities,
+                         models) -> list[dict]:
+    """Per (corruption, model): clean H@1, worst H@1, drop and LSQ slope."""
+    summary = []
+    lowest, highest = min(severities), max(severities)
+    for corruption in corruptions:
+        for model in models:
+            grid = [(severity,
+                     result.column("H@1", corruption=corruption,
+                                   severity=severity, model=model)[0])
+                    for severity in severities]
+            clean = dict(grid)[lowest]
+            worst = dict(grid)[highest]
+            if len(grid) >= 2 and highest > lowest:
+                xs = np.asarray([point[0] for point in grid])
+                ys = np.asarray([point[1] for point in grid])
+                slope = float(np.polyfit(xs, ys, 1)[0])
+            else:
+                slope = 0.0
+            summary.append({
+                "corruption": corruption,
+                "model": model,
+                "clean_H@1": clean,
+                "worst_H@1": worst,
+                "drop_H@1": clean - worst,
+                "slope_H@1_per_severity": slope,
+            })
+    return summary
+
+
+def run_robustness(scale: ExperimentScale = QUICK_SCALE,
+                   dataset: str = "FBDB15K",
+                   corruptions: tuple[str, ...] = DEFAULT_CORRUPTIONS,
+                   severities: tuple[float, ...] = DEFAULT_SEVERITIES,
+                   models: tuple[str, ...] = ROBUSTNESS_MODELS) -> ExperimentResult:
+    """Sweep corruption type x severity x model; summarise degradation.
+
+    Returns an :class:`ExperimentResult` with one row per cell (raw
+    percentage metrics) and ``parameters["degradation"]`` holding the
+    per-model drop/slope summary the robustness benchmark asserts on.
+    """
+    corruptions = tuple(corruptions)
+    severities = tuple(sorted(set(float(s) for s in severities)))
+    models = tuple(models)
+    result = ExperimentResult(
+        experiment="robustness",
+        description="Graceful degradation under declarative corruption "
+                    "(corruption x severity x model)",
+        parameters={"scale": scale.__dict__, "dataset": dataset,
+                    "corruptions": list(corruptions),
+                    "severities": list(severities), "models": list(models)},
+    )
+    # Severity 0.0 is a bit-exact no-op whatever the corruption axis, so
+    # the clean cells are computed once and shared across corruptions.
+    clean_metrics: dict[str, dict] = {}
+    if 0.0 in severities:
+        clean_task = build_corrupted_task(dataset, scale, corruptions[0], 0.0)
+        for model_name in models:
+            cell = run_cell(model_name, clean_task, scale)
+            clean_metrics[model_name] = _percent(cell.metrics)
+    for corruption in corruptions:
+        for severity in severities:
+            if severity == 0.0:
+                for model_name in models:
+                    result.add_row(corruption=corruption, severity=severity,
+                                   model=model_name,
+                                   **clean_metrics[model_name])
+                continue
+            task = build_corrupted_task(dataset, scale, corruption, severity)
+            for model_name in models:
+                cell = run_cell(model_name, task, scale)
+                result.add_row(corruption=corruption, severity=severity,
+                               model=model_name, **_percent(cell.metrics))
+    result.parameters["degradation"] = _degradation_summary(
+        result, corruptions, severities, models)
+    return result

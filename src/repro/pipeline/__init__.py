@@ -35,7 +35,8 @@ from .facade import (
     SPEC_FILENAME,
     TopKAlignment,
 )
-from .spec import CUSTOM_DATASET, DataSpec, DecodeSpec, ModelSpec, PipelineSpec
+from .spec import (CUSTOM_DATASET, DataSpec, DecodeSpec, ModelSpec,
+                   PerturbationSpec, PipelineSpec)
 
 __all__ = [
     "AlignmentPipeline",
@@ -45,6 +46,7 @@ __all__ = [
     "DataSpec",
     "ModelSpec",
     "DecodeSpec",
+    "PerturbationSpec",
     "CUSTOM_DATASET",
     "SPEC_FILENAME",
     "PARAMS_FILENAME",

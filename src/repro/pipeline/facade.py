@@ -52,6 +52,7 @@ from ..data.benchmarks import load_benchmark
 from ..eval.evaluator import Evaluator
 from ..eval.metrics import AlignmentMetrics, evaluate_alignment
 from ..kg.pair import KGPair
+from ..robustness.operators import perturb_pair, perturb_task
 from .spec import CUSTOM_DATASET, PipelineSpec
 
 __all__ = ["AlignmentPipeline", "Aligner", "TopKAlignment",
@@ -140,8 +141,16 @@ class AlignmentPipeline:
         is prepared under the spec's backend/seed, a ``PreparedTask`` is
         used as-is (the model follows its backend unless the spec pins
         one).
+
+        The spec's ``perturbation`` section is applied here, exactly once
+        — graph-level corruptions before preparation, task-level ones
+        after — so every model fitted on this task sees the identical
+        corrupted world.  An all-zero section skips the operators
+        entirely (bit-exact no-op).  A pre-built ``PreparedTask`` is
+        assumed already perturbed by whoever prepared it.
         """
         data = self.spec.data
+        perturbation = self.spec.perturbation
         if isinstance(pair, PreparedTask):
             return pair
         if pair is None:
@@ -157,8 +166,13 @@ class AlignmentPipeline:
                 num_entities=data.num_entities,
                 seed=data.dataset_seed,
             )
-        return prepare_task(pair, structure_dim=self.spec.model.hidden_dim,
+        if not perturbation.is_noop():
+            pair = perturb_pair(pair, perturbation)
+        task = prepare_task(pair, structure_dim=self.spec.model.hidden_dim,
                             seed=data.seed, backend=data.backend)
+        if not perturbation.is_noop():
+            task = perturb_task(task, perturbation)
+        return task
 
     def build_model(self, task: PreparedTask):
         """Instantiate the registered aligner the ``model`` section names."""

@@ -10,7 +10,10 @@ spans into one frozen, validated object:
 * ``training`` — the optimisation recipe, reusing the existing
   :class:`~repro.core.config.TrainingConfig` verbatim;
 * ``decode`` — how test-time similarities are produced and ranked
-  (:class:`DecodeSpec`).
+  (:class:`DecodeSpec`);
+* ``perturbation`` — which seeded corruptions to inject into the task
+  between data preparation and fit (:class:`PerturbationSpec`; the
+  all-zero default is a bit-exact no-op).
 
 Specs serialise losslessly: ``PipelineSpec.from_dict(spec.to_dict()) ==
 spec``, and ``from_json_file`` / ``to_json_file`` move them through plain
@@ -35,8 +38,8 @@ from ..core.config import TrainingConfig
 from ..core.registries import model_names, model_supports_sampling
 from ..data.benchmarks import ALL_DATASETS
 
-__all__ = ["DataSpec", "ModelSpec", "DecodeSpec", "PipelineSpec",
-           "CUSTOM_DATASET"]
+__all__ = ["DataSpec", "ModelSpec", "DecodeSpec", "PerturbationSpec",
+           "PipelineSpec", "CUSTOM_DATASET"]
 
 #: ``DataSpec.dataset`` value declaring that the pair is supplied by the
 #: caller (``AlignmentPipeline.fit(pair)``) instead of a benchmark preset.
@@ -195,6 +198,96 @@ class DecodeSpec:
         return cls(**data)
 
 
+#: Channels :class:`PerturbationSpec.dropout_channels` may name — the two
+#: modalities an entity can lose while remaining a valid graph node.
+DROPPABLE_CHANNELS = ("vision", "attribute")
+
+#: Feature channels :class:`PerturbationSpec.noise_channels` may name —
+#: any prepared modal feature matrix.
+NOISE_CHANNELS = ("graph", "relation", "attribute", "vision")
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Declarative corruption of the task, applied once before fitting.
+
+    All rates are severities in ``[0, 1]``; a spec whose severities are
+    all zero is a *bit-exact no-op* — the pipeline skips the operators
+    entirely, so zero-severity sweep cells reproduce the unperturbed run
+    bit for bit.  ``seed`` drives every operator through independent
+    per-operator child generators, so enabling one corruption never
+    shifts another's random stream.
+
+    Graph-level corruptions (applied to the raw pair, before task
+    preparation): ``modality_dropout`` removes each channel in
+    ``dropout_channels`` from that fraction of carrying entities;
+    ``edge_deletion`` drops relation triples uniformly;
+    ``edge_rewiring`` reconnects triple tails uniformly at random;
+    ``degree_skew`` reconnects tails preferentially toward hubs.
+
+    Task-level corruptions (applied to the prepared artefacts):
+    ``feature_noise`` adds Gaussian noise at that multiple of each
+    matrix's own standard deviation to the channels in
+    ``noise_channels``; ``seed_noise`` mislabels that fraction of the
+    seed (train) pairs by permuting their targets — test pairs are never
+    touched.
+    """
+
+    modality_dropout: float = 0.0
+    dropout_channels: tuple = DROPPABLE_CHANNELS
+    feature_noise: float = 0.0
+    noise_channels: tuple = ("vision", "attribute")
+    seed_noise: float = 0.0
+    edge_deletion: float = 0.0
+    edge_rewiring: float = 0.0
+    degree_skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Canonicalise to tuples so the frozen spec hashes/compares and
+        # the JSON round trip (lists in, tuples here) stays lossless.
+        object.__setattr__(self, "dropout_channels",
+                           tuple(self.dropout_channels))
+        object.__setattr__(self, "noise_channels",
+                           tuple(self.noise_channels))
+        for name in ("modality_dropout", "seed_noise", "edge_deletion",
+                     "edge_rewiring", "degree_skew"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+        if self.feature_noise < 0.0:
+            raise ValueError("feature_noise must be non-negative, got "
+                             f"{self.feature_noise!r}")
+        for channel in self.dropout_channels:
+            if channel not in DROPPABLE_CHANNELS:
+                raise ValueError(
+                    f"dropout_channels may only name {DROPPABLE_CHANNELS}, "
+                    f"got {channel!r}")
+        for channel in self.noise_channels:
+            if channel not in NOISE_CHANNELS:
+                raise ValueError(
+                    f"noise_channels may only name {NOISE_CHANNELS}, "
+                    f"got {channel!r}")
+        # A positive severity aimed at zero channels would be a silent
+        # no-op — reject it the way every other illegal spec is rejected.
+        if self.modality_dropout > 0.0 and not self.dropout_channels:
+            raise ValueError("modality_dropout > 0 requires at least one "
+                             "dropout channel")
+        if self.feature_noise > 0.0 and not self.noise_channels:
+            raise ValueError("feature_noise > 0 requires at least one "
+                             "noise channel")
+
+    def is_noop(self) -> bool:
+        """True when no corruption is declared (the pipeline skips it)."""
+        return (self.modality_dropout == 0.0 and self.feature_noise == 0.0
+                and self.seed_noise == 0.0 and self.edge_deletion == 0.0
+                and self.edge_rewiring == 0.0 and self.degree_skew == 0.0)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerturbationSpec":
+        return cls(**_check_keys(cls, payload, "perturbation"))
+
+
 def _training_from_dict(payload: dict) -> TrainingConfig:
     data = _check_keys(TrainingConfig, payload, "training")
     if "fanouts" in data:
@@ -212,6 +305,10 @@ class PipelineSpec:
     model: ModelSpec = field(default_factory=ModelSpec)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     decode: DecodeSpec = field(default_factory=DecodeSpec)
+    #: Declarative task corruption (all-zero default is a bit-exact no-op,
+    #: so specs and artifacts written before this section existed load
+    #: unchanged).
+    perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
 
     # ------------------------------------------------------------------
     # Validation (the single home of every cross-field legality rule)
@@ -274,6 +371,7 @@ class PipelineSpec:
             "model": _section_to_dict(self.model),
             "training": _section_to_dict(self.training),
             "decode": _section_to_dict(self.decode),
+            "perturbation": _section_to_dict(self.perturbation),
         }
 
     @classmethod
@@ -281,7 +379,7 @@ class PipelineSpec:
         """Build and validate a spec from a (possibly partial) nested dict."""
         if not isinstance(payload, dict):
             raise ValueError("a pipeline spec must be a JSON object")
-        known = {"data", "model", "training", "decode"}
+        known = {"data", "model", "training", "decode", "perturbation"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(f"unknown top-level key(s) {unknown} in pipeline "
@@ -291,6 +389,8 @@ class PipelineSpec:
             model=ModelSpec.from_dict(payload.get("model", {})),
             training=_training_from_dict(payload.get("training", {})),
             decode=DecodeSpec.from_dict(payload.get("decode", {})),
+            perturbation=PerturbationSpec.from_dict(
+                payload.get("perturbation", {})),
         )
         return spec.validate()
 

@@ -1,0 +1,46 @@
+"""Declarative corruption injection for robustness experiments.
+
+The subsystem has two halves:
+
+* **Data corruptions** (:mod:`repro.robustness.operators`) — seeded,
+  composable perturbation operators over alignment tasks (modality
+  dropout, edge deletion / rewiring, degree-skew resampling, Gaussian
+  feature noise, mislabelled seed pairs), declared through the frozen
+  :class:`~repro.pipeline.spec.PerturbationSpec` section of a
+  :class:`~repro.pipeline.PipelineSpec` and applied exactly once by
+  :meth:`AlignmentPipeline.build_task`, between data preparation and fit
+  — so every model in a sweep sees the identical corrupted world under a
+  fixed seed, and a severity of 0.0 is a bit-exact no-op.
+
+* **Serving faults** (:mod:`repro.serve.faults`) — the
+  :class:`~repro.serve.FaultInjector` companion that stresses the
+  serving engine with decode failures, latency and worker death; it
+  lives with the serving subsystem but shares this package's seeded,
+  declarative philosophy.
+"""
+
+from .operators import (
+    DROPPABLE_CHANNELS,
+    add_feature_noise,
+    corrupt_seed_pairs,
+    delete_edges,
+    drop_modality,
+    perturb_pair,
+    perturb_task,
+    rewire_edges,
+    skew_degrees,
+)
+from ..pipeline.spec import PerturbationSpec
+
+__all__ = [
+    "PerturbationSpec",
+    "DROPPABLE_CHANNELS",
+    "drop_modality",
+    "delete_edges",
+    "rewire_edges",
+    "skew_degrees",
+    "corrupt_seed_pairs",
+    "add_feature_noise",
+    "perturb_pair",
+    "perturb_task",
+]

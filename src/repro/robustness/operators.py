@@ -1,0 +1,339 @@
+"""Seeded, composable corruption operators over alignment tasks.
+
+The paper's central claim is graceful degradation under semantic
+inconsistency; these operators manufacture that inconsistency under
+experimental control.  Each operator is
+
+* **seeded** — it draws from its own child generator
+  ``np.random.default_rng([spec.seed, op_offset])``, so toggling one
+  operator never shifts another operator's random stream and repeated
+  applications are bit-reproducible;
+* **surgical** — it touches only the entities / edges / features it
+  targets and copies everything else through bit-identically;
+* **a strict no-op at severity 0.0** — the input object is returned
+  unchanged (no RNG draw, no copy), which is what makes zero-severity
+  sweep cells bit-identical to the unperturbed pipeline.
+
+Two application layers mirror where each corruption lives naturally:
+:func:`perturb_pair` rewrites the raw :class:`~repro.kg.KGPair` *before*
+task preparation (modality dropout, edge deletion / rewiring, degree-skew
+resampling — so imputation, masks, adjacency and Laplacians are rebuilt
+consistently for the corrupted world), and :func:`perturb_task` rewrites
+the prepared :class:`~repro.core.task.PreparedTask` *after* preparation
+(Gaussian feature noise, mislabelled seed pairs — corruptions of the
+derived artefacts, not of the graphs).  The pipeline facade applies both
+once, between data preparation and fit, so every model in a sweep sees
+the identical corrupted world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.task import PreparedTask
+from ..data.features import ModalFeatureSet
+from ..kg.graph import MultiModalKG
+from ..kg.pair import KGPair
+
+__all__ = [
+    "drop_modality",
+    "delete_edges",
+    "rewire_edges",
+    "skew_degrees",
+    "corrupt_seed_pairs",
+    "add_feature_noise",
+    "perturb_pair",
+    "perturb_task",
+]
+
+#: Fixed per-operator child-seed offsets: every operator owns an
+#: independent random stream derived from ``(spec.seed, offset)``, so
+#: enabling or re-ordering one operator cannot perturb another's draws.
+_OP_OFFSETS = {
+    "modality_dropout": 11,
+    "edge_deletion": 23,
+    "edge_rewiring": 37,
+    "degree_skew": 53,
+    "seed_noise": 71,
+    "feature_noise": 89,
+}
+
+#: Channels that can be dropped at the graph level (the structural and
+#: relation channels are the graph — dropping them is edge deletion).
+DROPPABLE_CHANNELS = ("vision", "attribute")
+
+
+def _op_rng(seed: int, op: str, side: int = 0) -> np.random.Generator:
+    """The operator's own child generator (independent per op and side)."""
+    return np.random.default_rng([int(seed), _OP_OFFSETS[op], side])
+
+
+def _check_rate(rate: float, name: str) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {rate!r}")
+    return float(rate)
+
+
+def _copy_graph(graph: MultiModalKG, *, relation_triples=None,
+                attribute_triples=None, image_features=None) -> MultiModalKG:
+    """A structural copy of ``graph`` with selected ingredient sets replaced."""
+    return MultiModalKG(
+        entity_names=list(graph.entity_names),
+        num_relations=graph.num_relations,
+        num_attributes=graph.num_attributes,
+        relation_triples=(list(graph.relation_triples)
+                          if relation_triples is None else relation_triples),
+        attribute_triples=(list(graph.attribute_triples)
+                           if attribute_triples is None else attribute_triples),
+        image_features=({e: feat.copy() for e, feat in graph.image_features.items()}
+                        if image_features is None else image_features),
+        name=graph.name,
+    )
+
+
+def _copy_pair(pair: KGPair, source: MultiModalKG,
+               target: MultiModalKG) -> KGPair:
+    return KGPair(source=source, target=target,
+                  alignments=list(pair.alignments),
+                  seed_ratio=pair.seed_ratio, name=pair.name)
+
+
+# ---------------------------------------------------------------------------
+# Graph-level operators (KGPair -> KGPair, applied before preparation)
+# ---------------------------------------------------------------------------
+def drop_modality(graph: MultiModalKG, channel: str, rate: float,
+                  rng: np.random.Generator) -> MultiModalKG:
+    """Remove ``channel`` from a ``rate`` fraction of the entities carrying it.
+
+    ``"vision"`` strips the visual feature vector, ``"attribute"`` strips
+    every textual attribute triple — the two missing-modality forms of
+    semantic inconsistency the paper's Tables II/III stress.  Entities
+    outside the dropped subset carry their features through untouched.
+    """
+    if channel not in DROPPABLE_CHANNELS:
+        raise ValueError(f"channel must be one of {DROPPABLE_CHANNELS}, "
+                         f"got {channel!r}")
+    _check_rate(rate, "rate")
+    if rate == 0.0:
+        return graph
+    if channel == "vision":
+        carriers = np.asarray(sorted(graph.image_features), dtype=np.int64)
+    else:
+        carriers = np.asarray(sorted(graph.entities_with_attributes()),
+                              dtype=np.int64)
+    drop_count = int(round(rate * len(carriers)))
+    dropped = set(carriers[rng.permutation(len(carriers))[:drop_count]].tolist())
+    if channel == "vision":
+        images = {e: feat.copy() for e, feat in graph.image_features.items()
+                  if e not in dropped}
+        return _copy_graph(graph, image_features=images)
+    attributes = [t for t in graph.attribute_triples if t.entity not in dropped]
+    return _copy_graph(graph, attribute_triples=attributes)
+
+
+def delete_edges(graph: MultiModalKG, rate: float,
+                 rng: np.random.Generator) -> MultiModalKG:
+    """Delete a uniformly random ``rate`` fraction of the relation triples.
+
+    Surviving triples are carried through in their original order and
+    identity, so the untouched part of the graph is bit-identical.
+    """
+    _check_rate(rate, "rate")
+    if rate == 0.0:
+        return graph
+    total = len(graph.relation_triples)
+    delete_count = int(round(rate * total))
+    doomed = set(rng.permutation(total)[:delete_count].tolist())
+    survivors = [t for index, t in enumerate(graph.relation_triples)
+                 if index not in doomed]
+    return _copy_graph(graph, relation_triples=survivors)
+
+
+def rewire_edges(graph: MultiModalKG, rate: float,
+                 rng: np.random.Generator) -> MultiModalKG:
+    """Rewire the tail of a ``rate`` fraction of triples to a uniform entity.
+
+    The head and relation type stay; the tail jumps to a random other
+    entity (never a self-loop), injecting structural noise while keeping
+    edge count and degree totals comparable.
+    """
+    from ..kg.graph import RelationTriple
+
+    _check_rate(rate, "rate")
+    if rate == 0.0 or graph.num_entities < 2:
+        return graph
+    total = len(graph.relation_triples)
+    rewire_count = int(round(rate * total))
+    chosen = set(rng.permutation(total)[:rewire_count].tolist())
+    new_tails = rng.integers(0, graph.num_entities - 1, size=total)
+    triples = []
+    for index, triple in enumerate(graph.relation_triples):
+        if index not in chosen:
+            triples.append(triple)
+            continue
+        # Draw from [0, n-1) and skip over the head so the result is a
+        # uniform non-self-loop tail with a single deterministic draw.
+        tail = int(new_tails[index])
+        if tail >= triple.head:
+            tail += 1
+        triples.append(RelationTriple(triple.head, triple.relation, tail))
+    return _copy_graph(graph, relation_triples=triples)
+
+
+def skew_degrees(graph: MultiModalKG, rate: float,
+                 rng: np.random.Generator) -> MultiModalKG:
+    """Resample a ``rate`` fraction of tails proportionally to degree.
+
+    A preferential-attachment rewire: chosen triples reconnect to
+    endpoints drawn with probability proportional to current degree,
+    concentrating edges on hubs and starving the tail of the degree
+    distribution — the degree-skew robustness scenario.
+    """
+    from ..kg.graph import RelationTriple
+
+    _check_rate(rate, "rate")
+    if rate == 0.0 or graph.num_entities < 2:
+        return graph
+    degrees = graph.degree().astype(np.float64) + 1.0  # +1: no zero-prob sinks
+    weights = degrees / degrees.sum()
+    total = len(graph.relation_triples)
+    skew_count = int(round(rate * total))
+    chosen = set(rng.permutation(total)[:skew_count].tolist())
+    new_tails = rng.choice(graph.num_entities, size=total, p=weights)
+    triples = []
+    for index, triple in enumerate(graph.relation_triples):
+        if index not in chosen:
+            triples.append(triple)
+            continue
+        tail = int(new_tails[index])
+        if tail == triple.head:  # deterministic non-self-loop fallback
+            tail = (tail + 1) % graph.num_entities
+        triples.append(RelationTriple(triple.head, triple.relation, tail))
+    return _copy_graph(graph, relation_triples=triples)
+
+
+# ---------------------------------------------------------------------------
+# Task-level operators (PreparedTask -> PreparedTask, applied after prep)
+# ---------------------------------------------------------------------------
+def corrupt_seed_pairs(task: PreparedTask, rate: float,
+                       rng: np.random.Generator) -> PreparedTask:
+    """Mislabel a ``rate`` fraction of the seed (train) pairs.
+
+    The chosen rows keep their source entities but have their target
+    entities cyclically shifted among themselves — every corrupted pair is
+    guaranteed wrong (no fixed points for two or more rows) while the
+    target multiset, and thus the supervision budget, is preserved.  Test
+    pairs and unchosen rows are bit-identical.
+    """
+    _check_rate(rate, "rate")
+    if rate == 0.0:
+        return task
+    train = np.array(task.train_pairs, copy=True)
+    total = len(train)
+    corrupt_count = int(round(rate * total))
+    if corrupt_count == 1 and total >= 2:
+        corrupt_count = 2  # a 1-cycle would be a silent no-op
+    if corrupt_count < 2:
+        return task
+    rows = np.sort(rng.permutation(total)[:corrupt_count])
+    train[rows, 1] = np.roll(train[rows, 1], 1)
+    return replace(task, train_pairs=train)
+
+
+def add_feature_noise(task: PreparedTask, channels: tuple[str, ...],
+                      sigma: float, rng_by_side) -> PreparedTask:
+    """Add Gaussian noise to the named modal feature matrices.
+
+    ``sigma`` scales the per-matrix feature standard deviation, so a
+    severity of 0.5 injects noise at half the signal's own spread
+    regardless of the modality's units.  Masks, untouched channels and
+    the graph matrices pass through bit-identically.
+    """
+    if sigma < 0.0:
+        raise ValueError(f"sigma must be non-negative, got {sigma!r}")
+    if sigma == 0.0 or not channels:
+        return task
+    sides = {}
+    for side_index, (name, side) in enumerate((("source", task.source),
+                                               ("target", task.target))):
+        rng = rng_by_side(side_index)
+        features = dict(side.features.features)
+        for channel in channels:
+            if channel not in features:
+                raise ValueError(f"unknown feature channel {channel!r}; "
+                                 f"known: {sorted(features)}")
+            matrix = features[channel]
+            scale = float(matrix.std())
+            if scale == 0.0:
+                scale = 1.0
+            features[channel] = matrix + rng.normal(
+                0.0, sigma * scale, size=matrix.shape)
+        sides[name] = replace(side, features=ModalFeatureSet(
+            features=features, masks=dict(side.features.masks),
+            graph=side.features.graph))
+    return replace(task, source=sides["source"], target=sides["target"])
+
+
+# ---------------------------------------------------------------------------
+# Spec-driven application (what the pipeline facade calls)
+# ---------------------------------------------------------------------------
+def perturb_pair(pair: KGPair, spec) -> KGPair:
+    """Apply the graph-level corruptions a :class:`PerturbationSpec` declares.
+
+    Operators run in a fixed order (modality dropout, edge deletion, edge
+    rewiring, degree skew), each over both sides with its own per-side
+    child generator.  Severity-zero operators are skipped entirely; a
+    fully zero spec returns ``pair`` itself.
+    """
+    if not _pair_ops_active(spec):
+        return pair
+    graphs = [pair.source, pair.target]
+    if spec.modality_dropout > 0.0:
+        for side in range(2):
+            rng = _op_rng(spec.seed, "modality_dropout", side)
+            for channel in spec.dropout_channels:
+                graphs[side] = drop_modality(graphs[side], channel,
+                                             spec.modality_dropout, rng)
+    if spec.edge_deletion > 0.0:
+        for side in range(2):
+            graphs[side] = delete_edges(
+                graphs[side], spec.edge_deletion,
+                _op_rng(spec.seed, "edge_deletion", side))
+    if spec.edge_rewiring > 0.0:
+        for side in range(2):
+            graphs[side] = rewire_edges(
+                graphs[side], spec.edge_rewiring,
+                _op_rng(spec.seed, "edge_rewiring", side))
+    if spec.degree_skew > 0.0:
+        for side in range(2):
+            graphs[side] = skew_degrees(
+                graphs[side], spec.degree_skew,
+                _op_rng(spec.seed, "degree_skew", side))
+    return _copy_pair(pair, graphs[0], graphs[1])
+
+
+def perturb_task(task: PreparedTask, spec) -> PreparedTask:
+    """Apply the post-preparation corruptions a :class:`PerturbationSpec` declares."""
+    if not _task_ops_active(spec):
+        return task
+    if spec.feature_noise > 0.0:
+        task = add_feature_noise(
+            task, tuple(spec.noise_channels), spec.feature_noise,
+            lambda side: _op_rng(spec.seed, "feature_noise", side))
+    if spec.seed_noise > 0.0:
+        task = corrupt_seed_pairs(task, spec.seed_noise,
+                                  _op_rng(spec.seed, "seed_noise"))
+    return task
+
+
+def _pair_ops_active(spec) -> bool:
+    return any(rate > 0.0 for rate in (spec.modality_dropout,
+                                       spec.edge_deletion,
+                                       spec.edge_rewiring,
+                                       spec.degree_skew))
+
+
+def _task_ops_active(spec) -> bool:
+    return spec.feature_noise > 0.0 or spec.seed_noise > 0.0

@@ -39,6 +39,7 @@ import numpy as np
 from ..pipeline.facade import Aligner, TopKAlignment
 from .batching import MicroBatcher
 from .cache import ResultCache
+from .faults import FaultInjector, WorkerDeath
 from .workers import WorkerPool
 
 __all__ = ["ServingEngine", "ServingError", "ServingTimeout", "PendingRequest"]
@@ -96,15 +97,23 @@ class ServingEngine:
     Tuning knobs: ``batch_window`` (seconds the micro-batcher waits for
     company), ``max_batch`` (entity rows per coalesced batch),
     ``pool_size`` / ``queue_size`` (decode workers and their backpressure
-    bound), ``cache_size`` (LRU result entries) and ``default_timeout``
-    (per-request deadline, seconds).
+    bound), ``cache_size`` (result-cache entries), ``cache_admission``
+    (``"frequency"`` — the default, TinyLFU-style sketch gate — or plain
+    ``"lru"``) and ``default_timeout`` (per-request deadline, seconds).
+    ``fault_injector`` accepts a seeded
+    :class:`~repro.serve.faults.FaultInjector` whose decode-failure,
+    latency and worker-death hooks exercise the engine's isolation
+    guarantees under test.
     """
 
     def __init__(self, aligner: Aligner, *, batch_window: float = 0.002,
                  max_batch: int = 64, pool_size: int = 2,
                  queue_size: int = 128, cache_size: int = 4096,
-                 default_timeout: float = 30.0):
-        self._cache = ResultCache(cache_size)
+                 default_timeout: float = 30.0,
+                 cache_admission: str = "frequency",
+                 fault_injector: FaultInjector | None = None):
+        self._cache = ResultCache(cache_size, admission=cache_admission)
+        self._faults = fault_injector
         self._pool = WorkerPool(num_workers=pool_size, queue_size=queue_size)
         self._batcher = MicroBatcher(self._dispatch, window=batch_window,
                                      max_batch=max_batch)
@@ -247,6 +256,8 @@ class ServingEngine:
             fingerprint = self._fingerprint
             self._inflight += 1
         try:
+            if self._faults is not None:
+                self._faults.maybe_kill_worker()
             live = [request for request in batch if not request.abandoned]
             by_k: dict[int, list] = {}
             for request in live:
@@ -266,6 +277,17 @@ class ServingEngine:
             with self._metrics:
                 self._batches += 1
                 self._batched_requests += len(live)
+        except WorkerDeath:
+            # The worker thread is going down (fault injection / crash).
+            # Fail every request that has not been answered yet with a
+            # structured code — a client must never hang on a dead worker
+            # — then let the death propagate to the pool, which respawns.
+            death = ServingError(
+                "worker_died", "the decode worker died mid-batch; retry")
+            for request in batch:
+                if not request.event.is_set():
+                    request.fail(death)
+            raise
         finally:
             with self._state:
                 self._inflight -= 1
@@ -288,6 +310,8 @@ class ServingEngine:
                 else:
                     rows[entity] = value
         if missing:
+            if self._faults is not None:
+                self._faults.before_decode()
             table = aligner.rank_rows(np.asarray(missing, dtype=np.int64), k)
             for index, entity in enumerate(missing):
                 value = (table.target_ids[index], table.scores[index],
@@ -373,6 +397,9 @@ class ServingEngine:
             "misses": aligner.candidate_slice_misses,
         }
         payload["worker_failures"] = self._pool.task_failures
+        payload["worker_deaths"] = self._pool.worker_deaths
+        if self._faults is not None:
+            payload["faults"] = self._faults.stats()
         return payload
 
     def close(self) -> None:

@@ -1,0 +1,123 @@
+"""Seeded fault injection for the serving engine.
+
+A :class:`FaultInjector` is handed to :class:`~repro.serve.ServingEngine`
+and probed from the decode path: ``before_decode`` can delay a decode
+(artificial latency) or abort it with a structured
+:class:`~repro.serve.ServingError`, and ``maybe_kill_worker`` can raise
+:class:`WorkerDeath` — a **BaseException**, deliberately outside the
+``except Exception`` isolation the engine and worker pool wrap around
+batches, so it genuinely takes the worker thread down the way a real
+crash would.  The pool respawns a replacement and the engine fails the
+batch's outstanding requests with a structured ``worker_died`` error, so
+clients always observe either a complete, correct response or a typed
+failure — never a torn batch.
+
+All draws come from one seeded generator behind a lock, so a fault
+schedule is reproducible under a fixed seed regardless of which worker
+thread happens to probe first (the *sequence* of faults is deterministic;
+their assignment to threads follows the race, as in production).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["FaultInjector", "WorkerDeath"]
+
+
+class WorkerDeath(BaseException):
+    """An injected worker crash.
+
+    Derives from ``BaseException`` so the broad ``except Exception``
+    blocks that isolate ordinary decode failures cannot swallow it —
+    exactly like a real thread-killing event, it must be handled by the
+    code that owns the worker's lifecycle, not by batch-level isolation.
+    """
+
+
+class FaultInjector:
+    """Probabilistic, seeded fault source for serving-path hooks.
+
+    Parameters
+    ----------
+    decode_failure_rate:
+        Probability that a decode attempt raises a structured
+        :class:`ServingError` (code ``failure_code``) instead of running.
+    failure_code:
+        Error code injected decode failures carry (default ``internal``;
+        use ``overloaded`` / ``timeout`` to exercise client retry paths).
+    latency, latency_rate:
+        With probability ``latency_rate``, sleep ``latency`` seconds
+        before a decode — enough to trip per-request deadlines.
+    worker_death_rate:
+        Probability that a batch kills its worker thread
+        (:class:`WorkerDeath`) before any decoding happens.
+    seed:
+        Drives the single shared random stream.
+    """
+
+    def __init__(self, *, decode_failure_rate: float = 0.0,
+                 failure_code: str = "internal",
+                 latency: float = 0.0, latency_rate: float = 1.0,
+                 worker_death_rate: float = 0.0, seed: int = 0):
+        for name, rate in (("decode_failure_rate", decode_failure_rate),
+                           ("latency_rate", latency_rate),
+                           ("worker_death_rate", worker_death_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate!r}")
+        if latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        self.decode_failure_rate = float(decode_failure_rate)
+        self.failure_code = str(failure_code)
+        self.latency = float(latency)
+        self.latency_rate = float(latency_rate)
+        self.worker_death_rate = float(worker_death_rate)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(seed)
+        self.injected_failures = 0
+        self.injected_latencies = 0
+        self.injected_deaths = 0
+
+    # ------------------------------------------------------------------
+    def _draw(self) -> float:
+        with self._lock:
+            return float(self._rng.random())
+
+    def before_decode(self) -> None:
+        """Hook run immediately before a decode: latency, then failure."""
+        if self.latency > 0.0 and self._draw() < self.latency_rate:
+            with self._lock:
+                self.injected_latencies += 1
+            time.sleep(self.latency)
+        if (self.decode_failure_rate > 0.0
+                and self._draw() < self.decode_failure_rate):
+            with self._lock:
+                self.injected_failures += 1
+            from .engine import ServingError
+
+            raise ServingError(self.failure_code, "injected decode failure")
+
+    def maybe_kill_worker(self) -> None:
+        """Hook run at batch start: may raise :class:`WorkerDeath`."""
+        if (self.worker_death_rate > 0.0
+                and self._draw() < self.worker_death_rate):
+            with self._lock:
+                self.injected_deaths += 1
+            raise WorkerDeath("injected worker death")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "decode_failure_rate": self.decode_failure_rate,
+                "latency": self.latency,
+                "worker_death_rate": self.worker_death_rate,
+                "seed": self.seed,
+                "injected_failures": self.injected_failures,
+                "injected_latencies": self.injected_latencies,
+                "injected_deaths": self.injected_deaths,
+            }

@@ -11,18 +11,28 @@ Operations: ``rank`` (``entities``, optional ``k`` / ``timeout``),
 ``stats``, ``swap`` (``artifact`` directory, optional ``mmap``), ``ping``
 and ``shutdown``.  Failures answer ``{"ok": false, "error": {"code",
 "message"}}`` with codes ``bad_request`` / ``timeout`` / ``overloaded`` /
-``shutdown`` / ``internal``; a failed request never takes the server
-down.  The ``repro serve`` CLI speaks this protocol over stdin/stdout;
-:class:`ServingClient` speaks it in-process (tests and embedding).
+``worker_died`` / ``shutdown`` / ``internal``; a failed request never
+takes the server down.  The ``repro serve`` CLI speaks this protocol over
+stdin/stdout; :class:`ServingClient` speaks it in-process (tests and
+embedding) and can retry *transient* failures — only the codes in
+:data:`RETRYABLE_CODES` — with capped exponential backoff and
+deterministic seeded jitter.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 
 from .engine import ServingEngine, ServingError
 
-__all__ = ["ServingServer", "ServingClient"]
+__all__ = ["ServingServer", "ServingClient", "RETRYABLE_CODES"]
+
+#: Error codes a retry can plausibly fix: transient load and liveness
+#: conditions.  ``bad_request`` / ``shutdown`` / ``internal`` failures are
+#: deterministic — retrying them only adds load — so they surface at once.
+RETRYABLE_CODES = frozenset({"overloaded", "timeout", "worker_died"})
 
 
 class ServingServer:
@@ -110,22 +120,62 @@ class ServingClient:
 
     Exercises the exact encode/decode path the stdio transport uses, so a
     test driving this client covers the wire protocol end to end.
+
+    With ``retries > 0`` the client re-sends a request that failed with a
+    code in :data:`RETRYABLE_CODES`, sleeping
+    ``min(backoff * 2**(attempt-1), max_backoff)`` plus a deterministic
+    jitter drawn from ``random.Random(jitter_seed)`` between attempts
+    (total attempts are bounded by ``retries + 1``).  ``sleep`` is
+    injectable so tests assert the backoff schedule without waiting it
+    out.  Successful dict results carry an ``attempts`` count; exhausted
+    retries raise the final :class:`ServingError` with an ``attempts``
+    attribute attached.
     """
 
-    def __init__(self, server: ServingServer):
+    def __init__(self, server: ServingServer, *, retries: int = 0,
+                 backoff: float = 0.05, max_backoff: float = 1.0,
+                 jitter_seed: int = 0, sleep=time.sleep):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff delays must be non-negative")
         self._server = server
         self._next_id = 0
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self._jitter = random.Random(jitter_seed)
+        self._sleep = sleep
+        #: Re-sends performed across the client's lifetime.
+        self.retries_performed = 0
+
+    def _backoff_delay(self, attempt: int) -> float:
+        delay = min(self.backoff * 2 ** (attempt - 1), self.max_backoff)
+        return delay + self._jitter.random() * self.backoff
 
     def request(self, payload: dict) -> dict:
-        """One protocol round trip; raises :class:`ServingError` on failure."""
-        self._next_id += 1
-        payload = dict(payload, id=self._next_id)
-        response = json.loads(self._server.handle_line(json.dumps(payload)))
-        if not response.get("ok"):
+        """One protocol exchange (with bounded retries on transient codes);
+        raises :class:`ServingError` on failure."""
+        attempts = 0
+        while True:
+            attempts += 1
+            self._next_id += 1
+            wire = dict(payload, id=self._next_id)
+            response = json.loads(self._server.handle_line(json.dumps(wire)))
+            if response.get("ok"):
+                result = response["result"]
+                if isinstance(result, dict):
+                    result = dict(result, attempts=attempts)
+                return result
             error = response.get("error", {})
-            raise ServingError(error.get("code", "internal"),
-                               error.get("message", "unknown failure"))
-        return response["result"]
+            code = error.get("code", "internal")
+            failure = ServingError(code,
+                                   error.get("message", "unknown failure"))
+            failure.attempts = attempts
+            if code not in RETRYABLE_CODES or attempts > self.retries:
+                raise failure
+            self.retries_performed += 1
+            self._sleep(self._backoff_delay(attempts))
 
     def ping(self) -> dict:
         return self.request({"op": "ping"})

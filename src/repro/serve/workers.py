@@ -7,12 +7,22 @@ affected requests with a structured ``overloaded`` error.  Workers wrap
 every task in a broad ``except`` so a failing batch can never take a
 worker down — the task itself is responsible for routing its error to
 the requests it carries.
+
+The one thing that *can* take a worker down is
+:class:`~repro.serve.faults.WorkerDeath` (a ``BaseException``, raised by
+fault injection the way a real crash would be): the dying worker counts
+itself and spawns a replacement before exiting, so the pool's capacity
+is self-healing — sustained worker death degrades latency, never
+availability.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
+
+from .faults import WorkerDeath
 
 __all__ = ["WorkerPool"]
 
@@ -32,14 +42,18 @@ class WorkerPool:
         self._closed = False
         #: Exceptions that escaped a task (the worker survived them).
         self.task_failures = 0
-        self._failure_lock = threading.Lock()
-        self._threads = [
-            threading.Thread(target=self._run, daemon=True,
-                             name=f"repro-serve-worker-{index}")
-            for index in range(self.num_workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        #: Workers killed by :class:`WorkerDeath` (each was respawned).
+        self.worker_deaths = 0
+        self._lock = threading.Lock()
+        self._names = itertools.count()
+        self._threads = [self._spawn() for _ in range(self.num_workers)]
+
+    def _spawn(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"repro-serve-worker-{next(self._names)}")
+        thread.start()
+        return thread
 
     def submit(self, task) -> bool:
         """Enqueue ``task`` (a zero-argument callable); False when full."""
@@ -58,16 +72,29 @@ class WorkerPool:
                 return
             try:
                 task()
+            except WorkerDeath:
+                # This thread is dead; replace it (unless the pool is
+                # closing, in which case the remaining workers drain the
+                # queue) and let it exit.
+                with self._lock:
+                    self.worker_deaths += 1
+                    if not self._closed:
+                        self._threads.append(self._spawn())
+                return
             except Exception:
-                with self._failure_lock:
+                with self._lock:
                     self.task_failures += 1
 
     def close(self) -> None:
         """Drain outstanding tasks, then stop every worker."""
-        if self._closed:
-            return
-        self._closed = True
-        for _ in self._threads:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        # One stop marker per spawned thread: dead threads never consume
+        # theirs, so every live worker (including respawns) sees one.
+        for _ in threads:
             self._queue.put(_STOP)
-        for thread in self._threads:
+        for thread in threads:
             thread.join()

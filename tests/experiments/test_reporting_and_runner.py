@@ -84,7 +84,8 @@ class TestExperimentResult:
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {"table2", "table3", "table4", "table5", "table6_efficiency",
-                    "fig3_left", "fig3_right", "fig4", "fig_energy"}
+                    "fig3_left", "fig3_right", "fig4", "fig_energy",
+                    "robustness"}
         assert set(EXPERIMENTS) == expected
 
     def test_list_experiments_descriptions(self):

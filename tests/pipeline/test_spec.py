@@ -11,6 +11,7 @@ from repro.pipeline import (
     DataSpec,
     DecodeSpec,
     ModelSpec,
+    PerturbationSpec,
     PipelineSpec,
 )
 
@@ -72,6 +73,17 @@ class TestRoundTrip:
         assert spec.model.name == "EVA"
         assert spec.data == DataSpec()
         assert spec.training == TrainingConfig()
+        assert spec.perturbation == PerturbationSpec()
+        assert spec.perturbation.is_noop()
+
+    def test_perturbation_section_round_trips(self):
+        spec = PipelineSpec(perturbation=PerturbationSpec(
+            modality_dropout=0.4, dropout_channels=["vision"],
+            feature_noise=0.2, seed_noise=0.1, seed=9))
+        restored = PipelineSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.perturbation.dropout_channels == ("vision",)
+        assert not restored.perturbation.is_noop()
 
     def test_invalid_json_file_is_actionable(self, tmp_path):
         path = tmp_path / "broken.json"
@@ -101,6 +113,11 @@ class TestUnknownKeys:
     def test_non_dict_section(self):
         with pytest.raises(ValueError, match="'model' section must be a JSON object"):
             PipelineSpec.from_dict({"model": "DESAlign"})
+
+    def test_unknown_perturbation_key(self):
+        with pytest.raises(ValueError,
+                           match=r"\['dropout'\] in the 'perturbation' section"):
+            PipelineSpec.from_dict({"perturbation": {"dropout": 0.5}})
 
 
 class TestValidation:
@@ -170,6 +187,17 @@ class TestValidation:
             DataSpec(seed_ratio=1.5)
         with pytest.raises(ValueError, match="k must be positive"):
             DecodeSpec(k=0)
+
+    def test_perturbation_rejects_bad_rates_and_channels(self):
+        with pytest.raises(ValueError, match="modality_dropout"):
+            PerturbationSpec(modality_dropout=1.5)
+        with pytest.raises(ValueError, match="feature_noise"):
+            PerturbationSpec(feature_noise=-0.1)
+        with pytest.raises(ValueError, match="dropout_channels"):
+            PerturbationSpec(modality_dropout=0.5,
+                             dropout_channels=("graph",))
+        with pytest.raises(ValueError, match="at least one dropout channel"):
+            PerturbationSpec(modality_dropout=0.5, dropout_channels=())
 
     def test_custom_dataset_requires_a_pair(self):
         pipeline = AlignmentPipeline(PipelineSpec(data=DataSpec(dataset="custom")))

@@ -1,0 +1,187 @@
+"""Property tests for the corruption operators.
+
+Three contracts, checked over random severities and seeds (hypothesis)
+and fixed witnesses:
+
+* **Determinism** — a perturbation is a pure function of ``(input,
+  spec)``: re-applying the same spec yields bit-identical graphs and
+  tasks, and independent operator streams mean toggling one operator
+  never shifts another's draws.
+* **Surgical locality** — only the targeted entities / edges / rows
+  change; everything untargeted passes through bit-identically.
+* **Zero severity is the identity** — not "close to": the *same object*
+  at the operator layer, and a bit-exact prepared task through the full
+  pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.benchmarks import load_benchmark
+from repro.experiments import ExperimentScale, build_corrupted_task
+from repro.pipeline import (
+    AlignmentPipeline,
+    ModelSpec,
+    PerturbationSpec,
+    PipelineSpec,
+)
+from repro.robustness import perturb_pair, perturb_task
+
+SETTINGS = settings(max_examples=10, deadline=None)
+SCALE = ExperimentScale(num_entities=40, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return load_benchmark("FBDB15K", num_entities=40, seed_ratio=0.3)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return AlignmentPipeline.from_spec(PipelineSpec(
+        data=SCALE.data_spec("FBDB15K"),
+        model=ModelSpec(hidden_dim=SCALE.hidden_dim),
+    )).build_task()
+
+
+def assert_graphs_equal(left, right):
+    assert left.relation_triples == right.relation_triples
+    assert left.attribute_triples == right.attribute_triples
+    assert sorted(left.image_features) == sorted(right.image_features)
+    for entity, features in left.image_features.items():
+        assert np.array_equal(features, right.image_features[entity])
+
+
+def assert_tasks_equal(left, right):
+    assert np.array_equal(left.train_pairs, right.train_pairs)
+    assert np.array_equal(left.test_pairs, right.test_pairs)
+    for side_name in ("source", "target"):
+        one = getattr(left, side_name)
+        other = getattr(right, side_name)
+        for channel, matrix in one.features.features.items():
+            assert np.array_equal(matrix, other.features.features[channel])
+        for channel, mask in one.features.masks.items():
+            assert np.array_equal(mask, other.features.masks[channel])
+
+
+class TestDeterminism:
+    @SETTINGS
+    @given(severity=st.floats(0.05, 1.0), seed=st.integers(0, 1000))
+    def test_pair_perturbation_is_bit_reproducible(self, pair, severity, seed):
+        spec = PerturbationSpec(modality_dropout=severity,
+                                edge_deletion=severity / 2,
+                                edge_rewiring=severity / 3, seed=seed)
+        once = perturb_pair(pair, spec)
+        again = perturb_pair(pair, spec)
+        assert_graphs_equal(once.source, again.source)
+        assert_graphs_equal(once.target, again.target)
+
+    @SETTINGS
+    @given(severity=st.floats(0.05, 1.0), seed=st.integers(0, 1000))
+    def test_task_perturbation_is_bit_reproducible(self, task, severity, seed):
+        spec = PerturbationSpec(feature_noise=severity,
+                                seed_noise=severity, seed=seed)
+        assert_tasks_equal(perturb_task(task, spec), perturb_task(task, spec))
+
+    def test_full_pipeline_perturbed_task_is_reproducible(self):
+        once = build_corrupted_task("FBDB15K", SCALE, "modality_dropout", 0.5)
+        again = build_corrupted_task("FBDB15K", SCALE, "modality_dropout", 0.5)
+        assert_tasks_equal(once, again)
+
+    def test_toggling_one_operator_never_shifts_another(self, pair):
+        """Edge deletion draws from its own child stream, so adding
+        modality dropout to the spec must not change which edges die."""
+        alone = perturb_pair(pair, PerturbationSpec(edge_deletion=0.3, seed=4))
+        combined = perturb_pair(pair, PerturbationSpec(
+            edge_deletion=0.3, modality_dropout=0.5, seed=4))
+        assert (alone.source.relation_triples
+                == combined.source.relation_triples)
+        assert (alone.target.relation_triples
+                == combined.target.relation_triples)
+
+
+class TestSurgicalLocality:
+    def test_modality_dropout_spares_untargeted_entities(self, pair):
+        spec = PerturbationSpec(modality_dropout=0.5,
+                                dropout_channels=("vision",), seed=0)
+        corrupted = perturb_pair(pair, spec)
+        for side in ("source", "target"):
+            before = getattr(pair, side)
+            after = getattr(corrupted, side)
+            survivors = set(after.image_features)
+            assert survivors < set(before.image_features)
+            for entity in survivors:  # untouched carriers: bit-identical
+                assert np.array_equal(after.image_features[entity],
+                                      before.image_features[entity])
+            assert after.attribute_triples == before.attribute_triples
+            assert after.relation_triples == before.relation_triples
+
+    def test_edge_deletion_keeps_survivors_in_order(self, pair):
+        spec = PerturbationSpec(edge_deletion=0.4, seed=1)
+        corrupted = perturb_pair(pair, spec)
+        original = pair.source.relation_triples
+        survivors = corrupted.source.relation_triples
+        assert len(survivors) < len(original)
+        iterator = iter(original)
+        assert all(triple in iterator for triple in survivors), \
+            "survivors must be a subsequence of the original triples"
+
+    def test_seed_noise_touches_only_selected_train_rows(self, task):
+        rate = 0.3
+        spec = PerturbationSpec(seed_noise=rate, seed=2)
+        corrupted = perturb_task(task, spec)
+        assert corrupted.test_pairs is task.test_pairs
+        changed = np.flatnonzero(
+            corrupted.train_pairs[:, 1] != task.train_pairs[:, 1])
+        expected = int(round(rate * len(task.train_pairs)))
+        assert len(changed) == expected
+        # sources untouched; target multiset (supervision budget) preserved
+        assert np.array_equal(corrupted.train_pairs[:, 0],
+                              task.train_pairs[:, 0])
+        assert np.array_equal(np.sort(corrupted.train_pairs[:, 1]),
+                              np.sort(task.train_pairs[:, 1]))
+        # every corrupted row is genuinely mislabelled, not a fixed point
+        assert (corrupted.train_pairs[changed, 1]
+                != task.train_pairs[changed, 1]).all()
+
+    def test_feature_noise_touches_only_named_channels(self, task):
+        spec = PerturbationSpec(feature_noise=0.5,
+                                noise_channels=("vision",), seed=3)
+        corrupted = perturb_task(task, spec)
+        for side_name in ("source", "target"):
+            before = getattr(task, side_name)
+            after = getattr(corrupted, side_name)
+            assert not np.array_equal(after.features.features["vision"],
+                                      before.features.features["vision"])
+            for channel in before.features.features:
+                if channel == "vision":
+                    continue
+                assert np.array_equal(after.features.features[channel],
+                                      before.features.features[channel])
+            for channel, mask in before.features.masks.items():
+                assert np.array_equal(after.features.masks[channel], mask)
+
+
+class TestZeroSeverityIdentity:
+    def test_noop_spec_returns_the_input_objects(self, pair, task):
+        noop = PerturbationSpec()
+        assert noop.is_noop()
+        assert perturb_pair(pair, noop) is pair
+        assert perturb_task(task, noop) is task
+
+    def test_zero_severity_is_bit_exact_through_the_pipeline(self):
+        """`repro robustness` clean cells rest on this: a zero-severity
+        spec must prepare the exact task the unperturbed spec prepares."""
+        unperturbed = AlignmentPipeline.from_spec(PipelineSpec(
+            data=SCALE.data_spec("FBDB15K"),
+            model=ModelSpec(hidden_dim=SCALE.hidden_dim),
+        )).build_task()
+        for corruption in ("modality_dropout", "seed_noise", "feature_noise"):
+            clean = build_corrupted_task("FBDB15K", SCALE, corruption, 0.0)
+            assert_tasks_equal(clean, unperturbed)
+            adjacency, reference = clean.source.adjacency, \
+                unperturbed.source.adjacency
+            if hasattr(reference, "toarray"):
+                adjacency, reference = adjacency.toarray(), reference.toarray()
+            assert np.array_equal(adjacency, reference)

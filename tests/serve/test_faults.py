@@ -1,0 +1,199 @@
+"""Fault injection: isolation, structured codes, self-healing workers.
+
+Every test drives faults through the *real* decode path via a seeded
+:class:`FaultInjector` — no monkey-patching of the aligner — and checks
+the engine's core guarantee: a client always observes either a complete,
+bit-correct response or a structured error, never a torn batch and never
+a hang.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FaultInjector,
+    ServingClient,
+    ServingEngine,
+    ServingError,
+    ServingServer,
+    ServingTimeout,
+    WorkerDeath,
+    WorkerPool,
+)
+
+
+class TestFaultInjector:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError, match="decode_failure_rate"):
+            FaultInjector(decode_failure_rate=1.5)
+        with pytest.raises(ValueError, match="worker_death_rate"):
+            FaultInjector(worker_death_rate=-0.1)
+        with pytest.raises(ValueError, match="latency"):
+            FaultInjector(latency=-1.0)
+
+    def test_fault_schedule_is_deterministic_under_seed(self):
+        def schedule(seed):
+            injector = FaultInjector(decode_failure_rate=0.5, seed=seed)
+            outcomes = []
+            for _ in range(32):
+                try:
+                    injector.before_decode()
+                    outcomes.append(False)
+                except ServingError:
+                    outcomes.append(True)
+            return outcomes
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert any(schedule(7)) and not all(schedule(7))
+
+    def test_injected_failure_carries_configured_code(self):
+        injector = FaultInjector(decode_failure_rate=1.0,
+                                 failure_code="overloaded")
+        with pytest.raises(ServingError) as info:
+            injector.before_decode()
+        assert info.value.code == "overloaded"
+        assert injector.stats()["injected_failures"] == 1
+
+    def test_worker_death_is_not_an_ordinary_exception(self):
+        injector = FaultInjector(worker_death_rate=1.0)
+        with pytest.raises(WorkerDeath):
+            injector.maybe_kill_worker()
+        assert not isinstance(WorkerDeath("x"), Exception)
+
+
+class TestWorkerPoolSelfHealing:
+    def test_pool_respawns_dead_workers(self):
+        pool = WorkerPool(num_workers=1, queue_size=8)
+        done = threading.Event()
+
+        def die():
+            raise WorkerDeath("injected")
+
+        assert pool.submit(die)
+        assert pool.submit(done.set)  # only a respawned worker can run this
+        assert done.wait(5.0)
+        pool.close()
+        assert pool.worker_deaths == 1
+        assert pool.task_failures == 0
+
+
+class TestEngineUnderFaults:
+    def test_injected_decode_failure_is_isolated(self, artifacts):
+        """A failed decode surfaces its code; the engine keeps serving."""
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(decode_failure_rate=1.0,
+                                 failure_code="internal", seed=0)
+        with ServingEngine.from_artifact(v1, batch_window=0.001,
+                                         fault_injector=injector) as engine:
+            with pytest.raises(ServingError) as info:
+                engine.rank([3], 5, timeout=10)
+            assert info.value.code == "internal"
+            assert "injected" in info.value.message
+            injector.decode_failure_rate = 0.0  # the outage clears
+            table = engine.rank([3], 5, timeout=10)
+            assert np.array_equal(table.scores, expected.scores[[3]])
+            assert engine.stats()["faults"]["injected_failures"] >= 1
+
+    def test_injected_latency_trips_the_deadline(self, artifacts):
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(latency=0.5, latency_rate=1.0)
+        with ServingEngine.from_artifact(v1, batch_window=0.001,
+                                         fault_injector=injector) as engine:
+            with pytest.raises(ServingTimeout):
+                engine.rank([4], 5, timeout=0.05)
+            injector.latency = 0.0
+            table = engine.rank([5], 5, timeout=10)
+            assert np.array_equal(table.scores, expected.scores[[5]])
+            assert engine.stats()["faults"]["injected_latencies"] >= 1
+
+    def test_worker_death_fails_batch_and_respawns(self, artifacts):
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(worker_death_rate=1.0)
+        with ServingEngine.from_artifact(v1, batch_window=0.001, pool_size=1,
+                                         fault_injector=injector) as engine:
+            with pytest.raises(ServingError) as info:
+                engine.rank([6], 5, timeout=10)
+            assert info.value.code == "worker_died"
+            injector.worker_death_rate = 0.0
+            # A respawned worker serves the next request correctly.
+            table = engine.rank([6], 5, timeout=10)
+            assert np.array_equal(table.scores, expected.scores[[6]])
+            stats = engine.stats()
+            assert stats["worker_deaths"] == 1
+            assert stats["faults"]["injected_deaths"] == 1
+
+    def test_never_a_torn_response_under_sustained_deaths(self, artifacts):
+        """Sequential traffic under a 40% death rate: every response is
+        either bit-correct or a structured ``worker_died`` error."""
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(worker_death_rate=0.4, seed=0)
+        with ServingEngine.from_artifact(v1, batch_window=0.0, pool_size=2,
+                                         fault_injector=injector) as engine:
+            successes, failures = 0, 0
+            for index in range(30):
+                ids = [index % 40, (index + 13) % 40]
+                try:
+                    table = engine.rank(ids, 5, timeout=10)
+                except ServingError as error:
+                    assert error.code == "worker_died"
+                    failures += 1
+                else:
+                    assert np.array_equal(table.scores, expected.scores[ids])
+                    successes += 1
+            assert successes > 0 and failures > 0, (successes, failures)
+            stats = engine.stats()
+            assert stats["worker_deaths"] == stats["faults"]["injected_deaths"]
+            assert stats["worker_deaths"] >= failures
+
+    def test_concurrent_clients_never_hang_on_dying_workers(self, artifacts):
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(worker_death_rate=0.3, seed=3)
+        with ServingEngine.from_artifact(v1, batch_window=0.002, pool_size=2,
+                                         fault_injector=injector) as engine:
+            outcomes, hangs = [], []
+
+            def client(index):
+                ids = [(index * 7 + offset) % 40 for offset in range(3)]
+                try:
+                    table = engine.rank(ids, 5, timeout=10)
+                except ServingTimeout:  # pragma: no cover
+                    hangs.append(index)
+                except ServingError as error:
+                    outcomes.append(error.code)
+                else:
+                    assert np.array_equal(table.scores, expected.scores[ids])
+                    outcomes.append("ok")
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(24)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not hangs, "a dying worker left clients hanging"
+            assert len(outcomes) == 24
+            assert set(outcomes) <= {"ok", "worker_died"}
+
+
+class TestClientRetryAgainstInjectedFaults:
+    def test_retry_rides_out_a_transient_overload(self, artifacts):
+        """End to end: injected ``overloaded`` decode failures clear after
+        the first backoff sleep, and the client's retry succeeds."""
+        v1, _, expected, _ = artifacts
+        injector = FaultInjector(decode_failure_rate=1.0,
+                                 failure_code="overloaded")
+        with ServingEngine.from_artifact(v1, batch_window=0.001,
+                                         fault_injector=injector) as engine:
+            def outage_clears(delay):
+                injector.decode_failure_rate = 0.0
+
+            client = ServingClient(ServingServer(engine), retries=3,
+                                   backoff=0.01, sleep=outage_clears)
+            result = client.rank([8, 9], k=5)
+            assert result["attempts"] == 2
+            assert client.retries_performed == 1
+            assert np.array_equal(np.asarray(result["scores"]),
+                                  expected.scores[[8, 9]])

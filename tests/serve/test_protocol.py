@@ -1,4 +1,4 @@
-"""JSON-lines protocol: round trips, error codes, stream serving."""
+"""JSON-lines protocol: round trips, error codes, retries, stream serving."""
 
 import io
 import json
@@ -6,7 +6,33 @@ import json
 import numpy as np
 import pytest
 
-from repro.serve import ServingClient, ServingEngine, ServingError, ServingServer
+from repro.serve import (
+    RETRYABLE_CODES,
+    ServingClient,
+    ServingEngine,
+    ServingError,
+    ServingServer,
+)
+
+
+class FlakyServer:
+    """Scripted stand-in: fail with ``code`` for ``failures`` requests,
+    then answer every request successfully."""
+
+    def __init__(self, code: str, failures: int):
+        self.code = code
+        self.failures = failures
+        self.calls = 0
+
+    def handle_line(self, line: str) -> str:
+        self.calls += 1
+        request_id = json.loads(line).get("id")
+        if self.calls <= self.failures:
+            return json.dumps({"id": request_id, "ok": False,
+                               "error": {"code": self.code,
+                                         "message": "injected"}})
+        return json.dumps({"id": request_id, "ok": True,
+                           "result": {"pong": True}})
 
 
 @pytest.fixture()
@@ -86,6 +112,73 @@ class TestErrors:
         result = client.rank([1], k=5)  # the old artifact still serves
         assert np.array_equal(np.asarray(result["scores"]),
                               expected.scores[[1]])
+
+
+class TestClientRetry:
+    def test_default_client_never_retries(self):
+        server = FlakyServer("overloaded", failures=1)
+        client = ServingClient(server)
+        with pytest.raises(ServingError) as info:
+            client.ping()
+        assert info.value.attempts == 1
+        assert server.calls == 1
+
+    def test_retries_transient_code_and_reports_attempts(self):
+        sleeps = []
+        server = FlakyServer("overloaded", failures=2)
+        client = ServingClient(server, retries=3, backoff=0.01,
+                               sleep=sleeps.append)
+        result = client.ping()
+        assert result["pong"] is True
+        assert result["attempts"] == 3
+        assert server.calls == 3
+        assert client.retries_performed == 2
+        assert len(sleeps) == 2
+
+    def test_backoff_schedule_doubles_then_caps_with_jitter(self):
+        sleeps = []
+        server = FlakyServer("timeout", failures=4)
+        client = ServingClient(server, retries=4, backoff=0.1,
+                               max_backoff=0.25, jitter_seed=0,
+                               sleep=sleeps.append)
+        client.ping()
+        # base delays 0.1, 0.2, 0.25 (capped), 0.25; jitter in [0, backoff)
+        bases = [0.1, 0.2, 0.25, 0.25]
+        for delay, base in zip(sleeps, bases):
+            assert base <= delay < base + 0.1, (delay, base)
+        # the jitter sequence is deterministic under the seed
+        replay = []
+        ServingClient(FlakyServer("timeout", failures=4), retries=4,
+                      backoff=0.1, max_backoff=0.25, jitter_seed=0,
+                      sleep=replay.append).ping()
+        assert replay == sleeps
+
+    def test_non_retryable_codes_fail_immediately(self):
+        for code in ("bad_request", "internal", "shutdown"):
+            assert code not in RETRYABLE_CODES
+            sleeps = []
+            server = FlakyServer(code, failures=1)
+            client = ServingClient(server, retries=5, sleep=sleeps.append)
+            with pytest.raises(ServingError) as info:
+                client.ping()
+            assert info.value.code == code
+            assert server.calls == 1 and not sleeps
+
+    def test_exhausted_retries_raise_with_attempt_count(self):
+        server = FlakyServer("worker_died", failures=99)
+        client = ServingClient(server, retries=2, backoff=0.0,
+                               sleep=lambda delay: None)
+        with pytest.raises(ServingError) as info:
+            client.ping()
+        assert info.value.code == "worker_died"
+        assert info.value.attempts == 3       # retries + 1
+        assert server.calls == 3
+
+    def test_rejects_negative_retry_configuration(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServingClient(FlakyServer("timeout", 0), retries=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            ServingClient(FlakyServer("timeout", 0), backoff=-0.1)
 
 
 class TestStreamServing:

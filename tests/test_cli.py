@@ -200,6 +200,8 @@ SMOKE_KWARGS = {
                        models=("DESAlign",)),
     "fig4": dict(settings=(("FBDB15K", 0.3, None),), iteration_grid=(0, 1)),
     "fig_energy": dict(),
+    "robustness": dict(corruptions=("modality_dropout",),
+                       severities=(0.0, 0.5), models=("DESAlign",)),
 }
 
 
