@@ -29,6 +29,7 @@ from .losses import (
 from .propagation import SemanticPropagation, PropagationResult, closed_form_interpolation
 from .ann import (
     AnnConfig,
+    GroupedRowCandidates,
     IVFIndex,
     RandomHyperplaneLSH,
     RowCandidates,
@@ -37,6 +38,8 @@ from .ann import (
     recall_at_k,
     resolve_ann,
 )
+from .store import EmbeddingStore
+from .sharded import shard_boundaries
 from .similarity import (
     TopKSimilarity,
     blockwise_topk,
@@ -90,6 +93,7 @@ __all__ = [
     "PropagationResult",
     "closed_form_interpolation",
     "AnnConfig",
+    "GroupedRowCandidates",
     "IVFIndex",
     "RandomHyperplaneLSH",
     "RowCandidates",
@@ -97,6 +101,8 @@ __all__ = [
     "generate_candidates",
     "recall_at_k",
     "resolve_ann",
+    "EmbeddingStore",
+    "shard_boundaries",
     "TopKSimilarity",
     "blockwise_topk",
     "decode_similarity",

@@ -42,6 +42,7 @@ relative to the ``n_s · n_t`` exhaustive decode.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -51,6 +52,7 @@ from .registries import CANDIDATE_REGISTRY, register_candidate_generator
 __all__ = [
     "AnnConfig",
     "RowCandidates",
+    "GroupedRowCandidates",
     "IVFIndex",
     "IVFWarmStart",
     "RandomHyperplaneLSH",
@@ -59,6 +61,7 @@ __all__ = [
     "recall_at_k",
     "flops_counter",
     "count_dot_products",
+    "paused_flops_counting",
 ]
 
 
@@ -108,6 +111,23 @@ def count_dot_products(cells: int) -> None:
         counter.add(cells)
 
 
+@contextmanager
+def paused_flops_counting():
+    """Temporarily detach every active counter.
+
+    The sharded decode driver charges the merged partials' cell counts to
+    the parent's counters once (forked workers' counters live in the child
+    processes and never propagate back); its in-process fallback therefore
+    runs under this pause so the same cells are not charged twice.
+    """
+    saved = _COUNTER_STACK[:]
+    _COUNTER_STACK.clear()
+    try:
+        yield
+    finally:
+        _COUNTER_STACK.extend(saved)
+
+
 # ---------------------------------------------------------------------------
 # Configuration
 # ---------------------------------------------------------------------------
@@ -136,6 +156,28 @@ class AnnConfig:
     min_candidates:
         Optional per-row floor on the candidate count (the decode itself
         additionally pads every row to at least its stored ``k``).
+    adaptive_slack:
+        Per-query adaptive ``nprobe`` for escalated IVF probing: a query
+        stops probing once its best score is within ``adaptive_slack`` of
+        the centroid-plus-radius bound over its unprobed buckets.  ``0.0``
+        (the default) is the provably exact stop; larger values trade
+        recall for FLOPs — the top-1 exactness proof no longer holds, so
+        combine with ``exact_escalation`` only where near-exact suffices.
+    gather:
+        How the restricted decode materialises candidate cells:
+        ``"edge"`` (default) gathers one dot product per candidate edge via
+        ``einsum``; ``"bucket"`` (IVF only) groups each block's cells by
+        IVF bucket and decodes every (query group, bucket) pair with one
+        dense matmul — same cells, GEMM throughput.  BLAS accumulation
+        order differs from the per-edge gather, so scores may move in the
+        last ulp; keep ``"edge"`` where bit-stability against existing
+        decodes matters.
+    train_size:
+        Optional cap on the vectors k-means trains on: Lloyd iterates on a
+        seeded subsample of this size, then every vector is assigned to the
+        trained centroids in one chunked pass.  Makes million-vector
+        (memory-mapped) index builds tractable; ``None`` trains on all
+        vectors.
     seed:
         Seed of k-means initialisation / hyperplane draws.  ``None`` means
         "inherit from the caller" — the model / trainer substitutes its own
@@ -150,6 +192,9 @@ class AnnConfig:
     tables: int = 8
     hyperplanes: int = 12
     min_candidates: int | None = None
+    adaptive_slack: float = 0.0
+    gather: str = "edge"
+    train_size: int | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -163,6 +208,12 @@ class AnnConfig:
             raise ValueError("tables and hyperplanes must be positive")
         if self.min_candidates is not None and self.min_candidates <= 0:
             raise ValueError("min_candidates must be positive")
+        if self.adaptive_slack < 0.0:
+            raise ValueError("adaptive_slack must be non-negative")
+        if self.gather not in ("edge", "bucket"):
+            raise ValueError("gather must be 'edge' or 'bucket'")
+        if self.train_size is not None and self.train_size <= 0:
+            raise ValueError("train_size must be positive")
 
     def with_overrides(self, **kwargs) -> "AnnConfig":
         """Return a copy with selected fields replaced."""
@@ -320,6 +371,35 @@ class RowCandidates:
         return RowCandidates(indptr=indptr, indices=self.indices[positions],
                              num_columns=self.num_columns)
 
+    # ------------------------------------------------------------------
+    def gather_values(self, source_norm: list[np.ndarray],
+                      target_norm: list[np.ndarray],
+                      start: int, stop: int,
+                      rows_local: np.ndarray, cols: np.ndarray,
+                      dtype) -> np.ndarray:
+        """Round-averaged similarity of the block's candidate cells.
+
+        ``rows_local`` / ``cols`` name the cells of decode rows
+        ``[start, stop)`` (``rows_local`` relative to ``start``); the return
+        value is float64, aligned with ``cols``.  The base implementation is
+        the per-edge ``einsum`` gather; :class:`GroupedRowCandidates`
+        overrides it with one dense matmul per IVF bucket.  Every cell's
+        value depends only on its own two rows, so the decode engine may
+        call this for any row range — sharded and single-process scans
+        compute identical values.
+        """
+        num_rounds = len(source_norm)
+        count_dot_products(len(cols) * num_rounds)
+        values = np.zeros(len(cols), dtype=dtype)
+        for round_index in range(num_rounds):
+            values = values + np.einsum(
+                "ed,ed->e", source_norm[round_index][start + rows_local],
+                target_norm[round_index][cols])
+        values = np.asarray(values, dtype=np.float64)
+        if num_rounds > 1:
+            values = values / num_rounds
+        return values
+
     def padded(self, min_count: int) -> "RowCandidates":
         """Ensure every row holds at least ``min_count`` candidates.
 
@@ -355,6 +435,82 @@ class RowCandidates:
                                extra_rows])
         cols = np.concatenate([self.indices, extra_cols])
         return RowCandidates.from_pairs(rows, cols, self.num_rows, self.num_columns)
+
+
+@dataclass
+class GroupedRowCandidates(RowCandidates):
+    """Candidate sets that know each target column's IVF bucket.
+
+    The extra ``bucket_of`` map (one bucket id per target column, from the
+    forward IVF index's assignments) lets :meth:`gather_values` regroup a
+    decode block's candidate cells by bucket and compute each
+    (query group, bucket) pair with one dense matmul instead of per-edge
+    ``einsum`` — IVF candidates are exactly block-structured this way,
+    since a query that probes a bucket holds *all* its members.  Cells that
+    break the structure (padding top-ups, reverse-escalation unions) just
+    make their bucket's rectangle slightly sparser; the matmul computes the
+    covering rectangle and the gather keeps only the candidate cells.
+
+    The CSR invariants (and therefore every selection/tie-break rule of the
+    restricted decode) are untouched — only the numeric gather changes, so
+    scores may differ from the per-edge path in the last ulp (BLAS
+    accumulation order).  Set-algebra helpers (``union``, ``select_rows``,
+    ``transposed``) intentionally return plain :class:`RowCandidates`.
+    """
+
+    bucket_of: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bucket_of is None:
+            raise ValueError("bucket_of is required")
+        self.bucket_of = np.asarray(self.bucket_of, dtype=np.int64)
+        if self.bucket_of.ndim != 1 or len(self.bucket_of) != self.num_columns:
+            raise ValueError("bucket_of must map every target column to a bucket")
+
+    @classmethod
+    def from_candidates(cls, base: RowCandidates,
+                        bucket_of: np.ndarray) -> "GroupedRowCandidates":
+        return cls(indptr=base.indptr, indices=base.indices,
+                   num_columns=base.num_columns, bucket_of=bucket_of)
+
+    def padded(self, min_count: int) -> "GroupedRowCandidates":
+        base = super().padded(min_count)
+        if base is self:
+            return self
+        return GroupedRowCandidates.from_candidates(base, self.bucket_of)
+
+    def gather_values(self, source_norm: list[np.ndarray],
+                      target_norm: list[np.ndarray],
+                      start: int, stop: int,
+                      rows_local: np.ndarray, cols: np.ndarray,
+                      dtype) -> np.ndarray:
+        num_rounds = len(source_norm)
+        values = np.empty(len(cols), dtype=np.float64)
+        if not len(cols):
+            return values
+        buckets = self.bucket_of[cols]
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        edges = np.flatnonzero(sorted_buckets[1:] != sorted_buckets[:-1]) + 1
+        segments = np.concatenate([[0], edges, [len(order)]])
+        cells = 0
+        for seg in range(len(segments) - 1):
+            idx = order[segments[seg]:segments[seg + 1]]
+            unique_rows, row_pos = np.unique(rows_local[idx], return_inverse=True)
+            unique_cols, col_pos = np.unique(cols[idx], return_inverse=True)
+            cells += len(unique_rows) * len(unique_cols)
+            block = (source_norm[0][start + unique_rows]
+                     @ target_norm[0][unique_cols].T)
+            for round_index in range(1, num_rounds):
+                block = block + (source_norm[round_index][start + unique_rows]
+                                 @ target_norm[round_index][unique_cols].T)
+            block = np.asarray(block, dtype=np.float64)
+            if num_rounds > 1:
+                block = block / num_rounds
+            values[idx] = block[row_pos, col_pos]
+        count_dot_products(cells * num_rounds)
+        return values
 
 
 # ---------------------------------------------------------------------------
@@ -402,9 +558,15 @@ class IVFIndex:
     generator so the index is bit-reproducible.
     """
 
+    #: Vectors per chunk of the assignment / distance passes.  Keeps every
+    #: transient at ``O(chunk · n_clusters)`` so memory-mapped tables are
+    #: never materialised in full.
+    ASSIGN_CHUNK = 65536
+
     def __init__(self, vectors: np.ndarray, n_clusters: int | None = None,
                  kmeans_iters: int = 8, seed: int = 0,
-                 init_centroids: np.ndarray | None = None):
+                 init_centroids: np.ndarray | None = None,
+                 train_size: int | None = None):
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or len(vectors) == 0:
             raise ValueError("vectors must be a non-empty 2-D array")
@@ -415,6 +577,17 @@ class IVFIndex:
         self.n_clusters = min(int(n_clusters), num)
         rng = np.random.default_rng(seed)
 
+        # Lloyd's training set: everything by default; a seeded subsample
+        # when train_size caps it (the million-vector out-of-core build).
+        # Assignment quality barely depends on training every point, but
+        # the final full assignment below always covers every vector.
+        if train_size is not None and int(train_size) < num:
+            train_size = max(int(train_size), self.n_clusters)
+            sample = np.sort(rng.choice(num, size=train_size, replace=False))
+            train = np.array(vectors[sample], dtype=np.float64)
+        else:
+            train = vectors
+
         if (init_centroids is not None
                 and init_centroids.shape == (self.n_clusters, vectors.shape[1])):
             # Warm start (e.g. the previous iterative-training round's
@@ -422,13 +595,13 @@ class IVFIndex:
             # convergence early-exit below usually fires after one pass.
             centroids = np.asarray(init_centroids, dtype=np.float64).copy()
         else:
-            centroids = vectors[rng.choice(num, size=self.n_clusters,
-                                           replace=False)].copy()
+            centroids = train[rng.choice(len(train), size=self.n_clusters,
+                                         replace=False)].copy()
         # kmeans_iters=0 keeps the raw initial-centroid bucketing; the final
         # assignment below always runs.
         previous_assignments: np.ndarray | None = None
         for _ in range(int(kmeans_iters)):
-            assignments = self._assign(vectors, centroids)
+            assignments = self._assign(train, centroids)
             if (previous_assignments is not None
                     and np.array_equal(assignments, previous_assignments)):
                 # Unchanged assignments mean the following centroid update
@@ -437,7 +610,7 @@ class IVFIndex:
                 break
             previous_assignments = assignments
             sums = np.zeros_like(centroids)
-            np.add.at(sums, assignments, vectors)
+            np.add.at(sums, assignments, train)
             counts = np.bincount(assignments, minlength=self.n_clusters)
             occupied = counts > 0
             centroids[occupied] = sums[occupied] / counts[occupied, None]
@@ -445,9 +618,9 @@ class IVFIndex:
                 # Reseed empty cells on the points farthest from their own
                 # centroid — deterministic, and it keeps buckets balanced
                 # enough that nprobe candidate counts stay predictable.
-                distances = np.linalg.norm(vectors - centroids[assignments], axis=1)
+                distances = self._centroid_distances(train, centroids, assignments)
                 farthest = np.argsort(-distances)
-                centroids[~occupied] = vectors[farthest[:int((~occupied).sum())]]
+                centroids[~occupied] = train[farthest[:int((~occupied).sum())]]
                 previous_assignments = None
         self.assignments = self._assign(vectors, centroids)
         self.centroids = centroids
@@ -461,18 +634,41 @@ class IVFIndex:
         self.bucket_indptr = np.zeros(self.n_clusters + 1, dtype=np.int64)
         np.cumsum(bucket_counts, out=self.bucket_indptr[1:])
 
-        deltas = vectors - centroids[self.assignments]
         radii = np.zeros(self.n_clusters, dtype=np.float64)
-        np.maximum.at(radii, self.assignments, np.linalg.norm(deltas, axis=1))
+        for lo in range(0, num, self.ASSIGN_CHUNK):
+            hi = min(lo + self.ASSIGN_CHUNK, num)
+            chunk_assignments = self.assignments[lo:hi]
+            deltas = vectors[lo:hi] - centroids[chunk_assignments]
+            np.maximum.at(radii, chunk_assignments,
+                          np.linalg.norm(deltas, axis=1))
         self.radii = radii
 
     # ------------------------------------------------------------------
     def _assign(self, vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-        """Nearest centroid (Euclidean) per vector; first index wins ties."""
+        """Nearest centroid (Euclidean) per vector; first index wins ties.
+
+        Chunked so the ``(n, n_clusters)`` score matrix never materialises
+        — each row's argmax is independent, so the result is identical to
+        the one-shot computation.
+        """
         count_dot_products(len(vectors) * len(centroids))
-        cross = vectors @ centroids.T
         sq = 0.5 * np.sum(centroids ** 2, axis=1)
-        return np.argmax(cross - sq[None, :], axis=1).astype(np.int64)
+        out = np.empty(len(vectors), dtype=np.int64)
+        for lo in range(0, len(vectors), self.ASSIGN_CHUNK):
+            hi = min(lo + self.ASSIGN_CHUNK, len(vectors))
+            cross = np.asarray(vectors[lo:hi], dtype=np.float64) @ centroids.T
+            out[lo:hi] = np.argmax(cross - sq[None, :], axis=1)
+        return out
+
+    def _centroid_distances(self, vectors: np.ndarray, centroids: np.ndarray,
+                            assignments: np.ndarray) -> np.ndarray:
+        """Per-vector distance to its assigned centroid, chunked."""
+        distances = np.empty(len(vectors), dtype=np.float64)
+        for lo in range(0, len(vectors), self.ASSIGN_CHUNK):
+            hi = min(lo + self.ASSIGN_CHUNK, len(vectors))
+            deltas = vectors[lo:hi] - centroids[assignments[lo:hi]]
+            distances[lo:hi] = np.linalg.norm(deltas, axis=1)
+        return distances
 
     def centroid_scores(self, queries: np.ndarray) -> np.ndarray:
         """Dot product of every query against every centroid."""
@@ -505,14 +701,24 @@ class IVFIndex:
         rows = np.repeat(query_of_probe, counts)
         return RowCandidates.from_pairs(rows, cols, len(queries), len(self.vectors))
 
-    def escalated_candidates(self, queries: np.ndarray) -> RowCandidates:
+    def escalated_candidates(self, queries: np.ndarray,
+                             slack: float = 0.0) -> RowCandidates:
         """Probe buckets per query until the top-1 is provably exact.
 
         Buckets are visited in descending centroid-score order; a query
         stops as soon as its best score so far is at least the maximum
         ``q·μ_c + ‖q‖·r_c`` bound over its unprobed buckets, at which point
         no unprobed vector can strictly beat the best found.
+
+        ``slack > 0`` is the per-query *adaptive nprobe* relaxation: a
+        query already stops when its best score is within ``slack`` of the
+        bound.  Any unprobed vector can then beat the best by at most
+        ``slack``, so recall degrades gracefully as the dial opens while
+        easy queries (whose bound closes immediately) stay exact and cheap;
+        ``slack=0.0`` reproduces the exact escalation bit for bit.
         """
+        if slack < 0.0:
+            raise ValueError("slack must be non-negative")
         queries = np.asarray(queries, dtype=np.float64)
         num_queries = len(queries)
         scores = self.centroid_scores(queries)
@@ -544,7 +750,7 @@ class IVFIndex:
                 collected_cols.append(cols)
             if position + 1 >= self.n_clusters:
                 break
-            done = best[active] >= suffix_max[active, position + 1]
+            done = best[active] >= suffix_max[active, position + 1] - slack
             active = active[~done]
         if collected_rows:
             all_rows = np.concatenate(collected_rows)
@@ -664,6 +870,11 @@ def _lsh_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
         raise ValueError(
             "exact_escalation is only available for candidates='ivf': "
             "random-hyperplane LSH has no bound proving a top-1 exact")
+    if config.gather == "bucket":
+        raise ValueError(
+            "gather='bucket' is only available for candidates='ivf': LSH "
+            "tables overlap, so no disjoint bucket partition exists to "
+            "group the gather by")
     index = RandomHyperplaneLSH(target_concat, tables=config.tables,
                                 hyperplanes=config.hyperplanes,
                                 seed=config.resolved_seed())
@@ -694,18 +905,27 @@ def _ivf_candidates(source_concat: np.ndarray, target_concat: np.ndarray,
             init = warm_start.get(key, probe_clusters, vectors.shape[1])
         index = IVFIndex(vectors, n_clusters=config.n_clusters,
                          kmeans_iters=config.kmeans_iters, seed=index_seed,
-                         init_centroids=init)
+                         init_centroids=init, train_size=config.train_size)
         if warm_start is not None:
             warm_start.store(key, index.centroids)
         return index
 
     index = build(target_concat, "forward", seed)
     if config.exact_escalation:
-        forward = index.escalated_candidates(source_concat)
+        forward = index.escalated_candidates(source_concat,
+                                             slack=config.adaptive_slack)
         reverse_index = build(source_concat, "reverse", seed + 1)
-        reverse = reverse_index.escalated_candidates(target_concat)
-        return forward.union(reverse.transposed())
-    return index.candidates(source_concat, nprobe=config.nprobe)
+        reverse = reverse_index.escalated_candidates(target_concat,
+                                                     slack=config.adaptive_slack)
+        result = forward.union(reverse.transposed())
+    else:
+        result = index.candidates(source_concat, nprobe=config.nprobe)
+    if config.gather == "bucket":
+        # The bucket map of the forward (target-side) index groups any
+        # candidate set over the same target space, including the
+        # reverse-escalation union's extra cells.
+        result = GroupedRowCandidates.from_candidates(result, index.assignments)
+    return result
 
 
 def generate_candidates(method: str, source, target,

@@ -15,10 +15,25 @@ that it can sit below :mod:`repro.core.config` and
 themselves when their defining modules import (``repro.baselines`` for the
 model zoo, :mod:`repro.core.trainer` for the loops, :mod:`repro.core.ann`
 for the candidate generators).
+
+Out-of-tree packages plug in without being imported by anyone: a
+distribution that declares an entry point in the ``repro.plugins`` group ::
+
+    [project.entry-points."repro.plugins"]
+    my_models = "my_package.repro_plugin"
+
+is discovered through :func:`importlib.metadata.entry_points` and loaded
+(once, lazily) by :func:`load_entry_point_plugins` the first time a
+registry lookup *misses* — importing the target module runs its
+``@register_model`` / ``@register_training_loop`` /
+``@register_candidate_generator`` decorators, exactly like the built-ins.
+A broken plugin is skipped with a warning rather than taking the host
+process down.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 __all__ = [
@@ -34,7 +49,51 @@ __all__ = [
     "model_supports_sampling",
     "training_loop_names",
     "candidate_methods",
+    "load_entry_point_plugins",
+    "PLUGIN_ENTRY_POINT_GROUP",
 ]
+
+#: ``importlib.metadata`` entry-point group scanned for out-of-tree plugins.
+PLUGIN_ENTRY_POINT_GROUP = "repro.plugins"
+
+#: Whether the entry-point scan has run (it runs at most once per process;
+#: tests reset this through :func:`load_entry_point_plugins`'s ``force``).
+_PLUGINS_LOADED = False
+
+
+def load_entry_point_plugins(force: bool = False) -> list[str]:
+    """Import every ``repro.plugins`` entry point; return the loaded names.
+
+    Idempotent: the scan runs once per process unless ``force=True`` (which
+    re-imports nothing already cached by ``sys.modules`` but re-runs the
+    discovery, for tests that install fake distributions).  Each entry
+    point's value is imported for its registration side effects; one
+    failing plugin is reported as a ``RuntimeWarning`` and skipped so it
+    cannot break unrelated pipelines.
+    """
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED and not force:
+        return []
+    _PLUGINS_LOADED = True
+    loaded: list[str] = []
+    try:
+        from importlib.metadata import entry_points
+        points = entry_points(group=PLUGIN_ENTRY_POINT_GROUP)
+    except Exception as error:  # pragma: no cover - metadata backend broken
+        warnings.warn(f"plugin discovery failed: {error}", RuntimeWarning,
+                      stacklevel=2)
+        return []
+    for point in points:
+        try:
+            point.load()
+        except Exception as error:
+            warnings.warn(
+                f"plugin entry point {point.name!r} ({point.value}) failed "
+                f"to load and was skipped: {error}", RuntimeWarning,
+                stacklevel=2)
+        else:
+            loaded.append(point.name)
+    return loaded
 
 #: Name -> constructor for every aligner usable by the experiment harness.
 #: (Re-exported by :mod:`repro.baselines` for backward compatibility.)
@@ -89,7 +148,8 @@ def register_model(name: str, *, spec_builder: Callable | None = None,
 
 
 def model_names() -> list[str]:
-    """Registered aligner names, sorted."""
+    """Registered aligner names, sorted (entry-point plugins included)."""
+    load_entry_point_plugins()
     return sorted(MODEL_REGISTRY)
 
 
@@ -100,6 +160,8 @@ def model_supports_sampling(name: str) -> bool:
 
 def build_model(name: str, task, **kwargs):
     """Instantiate a registered aligner by its paper-table name."""
+    if name not in MODEL_REGISTRY:
+        load_entry_point_plugins()
     if name not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; registered: {sorted(MODEL_REGISTRY)}")
     return MODEL_REGISTRY[name](task, **kwargs)
@@ -114,6 +176,8 @@ def build_model_from_spec(model_spec, task, default_seed: int = 0):
     tuples because JSON has no tuple type.
     """
     name = model_spec.name
+    if name not in MODEL_REGISTRY:
+        load_entry_point_plugins()
     if name not in MODEL_REGISTRY:
         raise KeyError(f"unknown model {name!r}; registered: {sorted(MODEL_REGISTRY)}")
     seed = model_spec.seed if model_spec.seed is not None else default_seed
@@ -145,6 +209,7 @@ def training_loop_names() -> set[str]:
     The built-in names are included unconditionally so validation stays
     correct even before :mod:`repro.core.trainer` has been imported.
     """
+    load_entry_point_plugins()
     return set(TRAINING_LOOP_REGISTRY) | {"full", "neighbour"}
 
 
@@ -174,4 +239,5 @@ def candidate_methods() -> set[str]:
     The built-in names are included unconditionally so validation stays
     correct even before :mod:`repro.core.ann` has been imported.
     """
+    load_entry_point_plugins()
     return set(CANDIDATE_REGISTRY) | {"exhaustive", "ivf", "lsh"}

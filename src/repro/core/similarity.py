@@ -46,7 +46,12 @@ from .ann import (
 
 __all__ = [
     "TopKSimilarity",
+    "PartialTopK",
     "blockwise_topk",
+    "compute_partial_topk",
+    "compute_partial_topk_candidates",
+    "merge_partials",
+    "merge_partial_topk",
     "decode_similarity",
     "resolve_decode",
     "resolve_candidates",
@@ -131,6 +136,12 @@ class TopKSimilarity:
     would be silently lossy raise instead.  ``computed_cells`` counts the
     dot products the decode actually performed (the FLOPs proxy recorded
     by the efficiency experiment and enforced by the scaling benchmark).
+
+    ``worker_rss_mb`` is the *sum* of the forked workers' peak RSS when the
+    decode ran sharded (``num_workers > 1``), zero otherwise.  The parent's
+    ``getrusage`` cannot provide this figure — ``RUSAGE_CHILDREN`` tracks
+    only the single largest terminated child — so the efficiency experiment
+    adds it to the parent's own peak to report true multi-process memory.
     """
 
     shape: tuple[int, int]
@@ -146,6 +157,7 @@ class TopKSimilarity:
     dtype: np.dtype = np.dtype(np.float64)
     approximate: bool = False
     computed_cells: int = 0
+    worker_rss_mb: float = 0.0
     _source_norm: list[np.ndarray] = field(default_factory=list, repr=False)
     _target_norm: list[np.ndarray] = field(default_factory=list, repr=False)
 
@@ -260,13 +272,182 @@ class TopKSimilarity:
         return [(int(s), int(t)) for s, t in zip(source_ids[keep], best_ids[keep])]
 
 
+@dataclass
+class PartialTopK:
+    """One row shard's decode reductions, mergeable across shards.
+
+    The unit of the multi-process sharded decode: a worker that owns the
+    source rows ``rows`` (disjoint from every other shard) reduces its
+    share of the streamed similarity to exactly these arrays, and
+    :func:`merge_partials` combines any two shards into one — the
+    column-max reduction is the lexicographic maximum by
+    ``(value, -source row)``, which is associative and commutative, so the
+    merged result is independent of worker completion order and of how the
+    rows were partitioned (the property the sharded property tests pin).
+
+    ``col_top`` carries the running per-column top-``csls_k`` values the
+    CSLS column means are computed from; it is ``None`` on the
+    candidate-restricted path (no CSLS statistics there).
+    ``worker_rss_mb`` is the producing process's peak RSS — summed by the
+    merge so the efficiency experiment can report true multi-process
+    memory instead of the parent's RSS alone.
+    """
+
+    rows: np.ndarray               # (m,) global source row ids, ascending
+    indices: np.ndarray            # (m, k_keep) column ids (local to decode)
+    scores: np.ndarray             # (m, k_keep) descending
+    col_max: np.ndarray            # (n_cols,)
+    col_argmax: np.ndarray         # (n_cols,) global source ids
+    col_top: np.ndarray | None     # (<= csls_k_col, n_cols) or None
+    csls_k_col: int
+    computed_cells: int
+    worker_rss_mb: float = 0.0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+def merge_partials(a: PartialTopK, b: PartialTopK) -> PartialTopK:
+    """Merge two disjoint row shards' reductions into one.
+
+    Associative and commutative:
+
+    * row top-k lists concatenate (shards own disjoint rows) and are kept
+      sorted by global row id;
+    * the column max/argmax merge takes, per column, the lexicographically
+      larger ``(value, -source row)`` — on exact value ties the lower
+      source row wins, exactly the dense ``np.argmax(axis=0)``
+      first-row-wins semantics the single-process engine maintains with
+      its strictly-greater running update;
+    * the column top-``csls_k`` values merge as a multiset top-k (the
+      top-k of a union is the top-k of the partial top-ks), which keeps
+      the final ascending-sorted CSLS column means bit-identical to the
+      single-process accumulation.
+    """
+    if a.csls_k_col != b.csls_k_col:
+        raise ValueError("partials disagree on csls_k_col")
+    rows = np.concatenate([a.rows, b.rows])
+    order = np.argsort(rows, kind="stable")
+    rows = rows[order]
+    indices = np.concatenate([a.indices, b.indices], axis=0)[order]
+    scores = np.concatenate([a.scores, b.scores], axis=0)[order]
+
+    take_b = (b.col_max > a.col_max) | ((b.col_max == a.col_max)
+                                        & (b.col_argmax < a.col_argmax))
+    col_max = np.where(take_b, b.col_max, a.col_max)
+    col_argmax = np.where(take_b, b.col_argmax, a.col_argmax)
+
+    col_top: np.ndarray | None = None
+    if a.col_top is not None and b.col_top is not None:
+        stacked = np.concatenate([a.col_top, b.col_top], axis=0)
+        if stacked.shape[0] > a.csls_k_col:
+            stacked = np.partition(stacked, stacked.shape[0] - a.csls_k_col,
+                                   axis=0)[stacked.shape[0] - a.csls_k_col:]
+        col_top = stacked
+
+    return PartialTopK(
+        rows=rows, indices=indices, scores=scores,
+        col_max=col_max, col_argmax=col_argmax, col_top=col_top,
+        csls_k_col=a.csls_k_col,
+        computed_cells=a.computed_cells + b.computed_cells,
+        worker_rss_mb=a.worker_rss_mb + b.worker_rss_mb,
+    )
+
+
+def merge_partial_topk(partials) -> PartialTopK:
+    """Reduce any number of disjoint shards; invariant to their order."""
+    partials = list(partials)
+    if not partials:
+        raise ValueError("no partials to merge")
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merge_partials(merged, partial)
+    return merged
+
+
+def compute_partial_topk(source_norm: list[np.ndarray],
+                         target_norm: list[np.ndarray],
+                         row_start: int, row_stop: int,
+                         k_keep: int, csls_k_col: int,
+                         block_size: int) -> PartialTopK:
+    """Exhaustive streamed reduction of the source rows [row_start, row_stop).
+
+    The states must already be the engine's normalised tables (the caller
+    — :func:`blockwise_topk` or a sharded worker — performs the one
+    up-front normalisation pass).  ``row_start`` should be a multiple of
+    ``block_size`` so a sharded scan issues the very same block GEMMs as
+    the single-process one, making the merged decode bit-identical.
+    """
+    num_rows = row_stop - row_start
+    num_cols = target_norm[0].shape[0]
+    num_rounds = len(source_norm)
+
+    indices = np.empty((num_rows, k_keep), dtype=np.int64)
+    scores = np.empty((num_rows, k_keep), dtype=np.float64)
+    col_max = np.full(num_cols, -np.inf, dtype=np.float64)
+    col_argmax = np.zeros(num_cols, dtype=np.int64)
+    # Running top-(csls_k) values per column, merged block by block.
+    col_top = np.empty((0, num_cols), dtype=np.float64)
+
+    for start in range(row_start, row_stop, block_size):
+        stop = min(start + block_size, row_stop)
+        local = start - row_start
+        count_dot_products((stop - start) * num_cols * num_rounds)
+        block = source_norm[0][start:stop] @ target_norm[0].T
+        for round_index in range(1, num_rounds):
+            block = block + source_norm[round_index][start:stop] @ target_norm[round_index].T
+        block = np.asarray(block, dtype=np.float64)
+        if num_rounds > 1:
+            block = block / num_rounds
+
+        # (a) exact row top-k: partial selection then a deterministic
+        # (score desc, target id asc) sort so position 0 matches argmax.
+        if k_keep < num_cols:
+            part = np.argpartition(block, num_cols - k_keep, axis=1)[:, num_cols - k_keep:]
+        else:
+            part = np.broadcast_to(np.arange(num_cols), block.shape).copy()
+        part_scores = np.take_along_axis(block, part, axis=1)
+        order = np.lexsort((part, -part_scores))
+        indices[local:local + (stop - start)] = np.take_along_axis(part, order, axis=1)
+        scores[local:local + (stop - start)] = np.take_along_axis(part_scores, order, axis=1)
+        # When the maximum is tied across more than k columns, argpartition
+        # may omit the first-index maximiser; position 0 must nevertheless
+        # carry exact np.argmax(axis=1) semantics for mutual-NN selection.
+        indices[local:local + (stop - start), 0] = block.argmax(axis=1)
+
+        # (b) running column max / argmax; strictly-greater update keeps the
+        # first (lowest source id) maximiser, matching np.argmax(axis=0).
+        block_max = block.max(axis=0)
+        block_argmax = block.argmax(axis=0)
+        improved = block_max > col_max
+        col_max[improved] = block_max[improved]
+        col_argmax[improved] = start + block_argmax[improved]
+
+        # (c) running per-column top-k for the CSLS column means.
+        stacked = np.concatenate([col_top, block], axis=0)
+        if stacked.shape[0] > csls_k_col:
+            stacked = np.partition(stacked, stacked.shape[0] - csls_k_col,
+                                   axis=0)[stacked.shape[0] - csls_k_col:]
+        col_top = stacked
+
+    return PartialTopK(
+        rows=np.arange(row_start, row_stop, dtype=np.int64),
+        indices=indices, scores=scores,
+        col_max=col_max, col_argmax=col_argmax, col_top=col_top,
+        csls_k_col=csls_k_col,
+        computed_cells=num_rows * num_cols * num_rounds,
+    )
+
+
 def blockwise_topk(source, target, k: int = 10,
                    block_size: int | None = None,
                    dtype=np.float64,
                    csls_k: int = 10,
                    columns: np.ndarray | None = None,
                    row_candidates: RowCandidates | None = None,
-                   pre_normalized: bool = False) -> TopKSimilarity:
+                   pre_normalized: bool = False,
+                   num_workers: int | None = None) -> TopKSimilarity:
     """Stream the (round-averaged) cosine similarity and reduce to top-k.
 
     Parameters
@@ -302,6 +483,14 @@ def blockwise_topk(source, target, k: int = 10,
         the normalised tables once per artifact and decodes row subsets
         against them — bit-identically, because the very same normalised
         values enter the products.
+    num_workers:
+        ``> 1`` shards the source rows across that many forked worker
+        processes (see :mod:`repro.core.sharded`): each worker owns a
+        block-aligned row shard and streams it exactly as the
+        single-process engine would, and the partial reductions are merged
+        by the associative :func:`merge_partials` reducer — bit-identical
+        to ``num_workers=None`` on complete candidate sets.  Falls back to
+        the in-process scan when forking is unavailable.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -336,7 +525,8 @@ def blockwise_topk(source, target, k: int = 10,
                                           row_candidates, k=k,
                                           block_size=block_size, dtype=dtype,
                                           csls_k=csls_k,
-                                          pre_normalized=pre_normalized)
+                                          pre_normalized=pre_normalized,
+                                          num_workers=num_workers)
 
     if columns is not None:
         columns = np.asarray(columns, dtype=np.int64)
@@ -367,76 +557,131 @@ def blockwise_topk(source, target, k: int = 10,
     # One row selection serves both the decode top-k and the CSLS row mean.
     k_keep = min(max(k_eff, csls_k_row), num_cols)
 
-    indices = np.empty((num_source, k_keep), dtype=np.int64)
-    scores = np.empty((num_source, k_keep), dtype=np.float64)
-    col_max = np.full(num_cols, -np.inf, dtype=np.float64)
-    col_argmax = np.zeros(num_cols, dtype=np.int64)
-    # Running top-(csls_k) values per column, merged block by block.
-    col_top = np.empty((0, num_cols), dtype=np.float64)
+    if num_workers is not None and num_workers > 1 and num_source > 1:
+        from .sharded import scan_partials_parallel
+        partial = merge_partial_topk(scan_partials_parallel(
+            source_norm, target_norm, kind="exhaustive",
+            num_workers=num_workers, block_size=block_size,
+            k_keep=k_keep, csls_k_col=csls_k_col))
+        count_dot_products(partial.computed_cells)
+    else:
+        partial = compute_partial_topk(source_norm, target_norm, 0, num_source,
+                                       k_keep=k_keep, csls_k_col=csls_k_col,
+                                       block_size=block_size)
 
-    for start in range(0, num_source, block_size):
-        stop = min(start + block_size, num_source)
-        count_dot_products((stop - start) * num_cols * num_rounds)
-        block = source_norm[0][start:stop] @ target_norm[0].T
-        for round_index in range(1, num_rounds):
-            block = block + source_norm[round_index][start:stop] @ target_norm[round_index].T
-        block = np.asarray(block, dtype=np.float64)
-        if num_rounds > 1:
-            block = block / num_rounds
-
-        # (a) exact row top-k: partial selection then a deterministic
-        # (score desc, target id asc) sort so position 0 matches argmax.
-        if k_keep < num_cols:
-            part = np.argpartition(block, num_cols - k_keep, axis=1)[:, num_cols - k_keep:]
-        else:
-            part = np.broadcast_to(np.arange(num_cols), block.shape).copy()
-        part_scores = np.take_along_axis(block, part, axis=1)
-        order = np.lexsort((part, -part_scores))
-        indices[start:stop] = np.take_along_axis(part, order, axis=1)
-        scores[start:stop] = np.take_along_axis(part_scores, order, axis=1)
-        # When the maximum is tied across more than k columns, argpartition
-        # may omit the first-index maximiser; position 0 must nevertheless
-        # carry exact np.argmax(axis=1) semantics for mutual-NN selection.
-        indices[start:stop, 0] = block.argmax(axis=1)
-
-        # (b) running column max / argmax; strictly-greater update keeps the
-        # first (lowest source id) maximiser, matching np.argmax(axis=0).
-        block_max = block.max(axis=0)
-        block_argmax = block.argmax(axis=0)
-        improved = block_max > col_max
-        col_max[improved] = block_max[improved]
-        col_argmax[improved] = start + block_argmax[improved]
-
-        # (c) running per-column top-k for the CSLS column means.
-        stacked = np.concatenate([col_top, block], axis=0)
-        if stacked.shape[0] > csls_k_col:
-            stacked = np.partition(stacked, stacked.shape[0] - csls_k_col,
-                                   axis=0)[stacked.shape[0] - csls_k_col:]
-        col_top = stacked
-
+    indices = partial.indices
     if columns is not None:
         indices = columns[indices]
 
     # Means are taken over ascending-sorted values so they are bit-identical
     # to the dense ``np.sort(...)[-k:].mean()`` formulation.
-    row_knn_mean = np.sort(scores[:, :csls_k_row], axis=1).mean(axis=1)
-    col_knn_mean = np.sort(col_top, axis=0).mean(axis=0)
+    row_knn_mean = np.sort(partial.scores[:, :csls_k_row], axis=1).mean(axis=1)
+    col_knn_mean = np.sort(partial.col_top, axis=0).mean(axis=0)
 
     return TopKSimilarity(
         shape=(num_source, num_target),
         k=k_keep,
         csls_k=csls_k,
         indices=indices,
-        scores=scores,
-        col_max=col_max,
-        col_argmax=col_argmax,
+        scores=partial.scores,
+        col_max=partial.col_max,
+        col_argmax=partial.col_argmax,
         row_knn_mean=row_knn_mean,
         col_knn_mean=col_knn_mean,
         columns=columns,
         dtype=dtype,
         computed_cells=num_source * num_cols * num_rounds,
+        worker_rss_mb=partial.worker_rss_mb,
         _source_norm=source_norm,
         _target_norm=target_norm,
+    )
+
+
+def compute_partial_topk_candidates(source_norm: list[np.ndarray],
+                                    target_norm: list[np.ndarray],
+                                    row_candidates: RowCandidates,
+                                    row_start: int, row_stop: int,
+                                    k_keep: int, block_size: int,
+                                    dtype) -> PartialTopK:
+    """Candidate-restricted streamed reduction of rows [row_start, row_stop).
+
+    ``row_candidates`` must already be padded to ``k_keep`` (row-local, so
+    padding before or after sharding is equivalent).  Per-cell values come
+    from :meth:`RowCandidates.gather_values` — the per-edge ``einsum`` by
+    default, one dense matmul per (query group, IVF bucket) on a
+    :class:`~repro.core.ann.GroupedRowCandidates` — and every cell's dot
+    product is row-local, so shard membership never changes a value.
+    """
+    dtype = np.dtype(dtype)
+    indptr, cand_indices = row_candidates.indptr, row_candidates.indices
+    num_cols = row_candidates.num_columns
+    num_rounds = len(source_norm)
+    total_rows = row_stop - row_start
+
+    indices = np.empty((total_rows, k_keep), dtype=np.int64)
+    scores = np.empty((total_rows, k_keep), dtype=np.float64)
+    col_max = np.full(num_cols, -np.inf, dtype=np.float64)
+    col_argmax = np.zeros(num_cols, dtype=np.int64)
+    computed = 0
+
+    for start in range(row_start, row_stop, block_size):
+        stop = min(start + block_size, row_stop)
+        num_rows = stop - start
+        local = start - row_start
+        lo, hi = indptr[start], indptr[stop]
+        cols = cand_indices[lo:hi]
+        counts = np.diff(indptr[start:stop + 1])
+        rows_local = np.repeat(np.arange(num_rows), counts)
+        computed += len(cols) * num_rounds
+        values = row_candidates.gather_values(source_norm, target_norm,
+                                              start, stop, rows_local, cols,
+                                              dtype)
+
+        # (a) per-row top-k over the candidate cells.  Rows are padded into
+        # a (num_rows, width) matrix with -inf sentinels; every row holds at
+        # least k_keep real candidates, so sentinels are never selected.
+        width = int(counts.max()) if num_rows else 0
+        block = np.full((num_rows, width), -np.inf, dtype=np.float64)
+        cand_ids = np.zeros((num_rows, width), dtype=np.int64)
+        pos_in_row = np.arange(len(cols)) - np.repeat(np.cumsum(counts) - counts,
+                                                      counts)
+        block[rows_local, pos_in_row] = values
+        cand_ids[rows_local, pos_in_row] = cols
+        if k_keep < width:
+            part = np.argpartition(block, width - k_keep, axis=1)[:, width - k_keep:]
+        else:
+            part = np.broadcast_to(np.arange(width), block.shape).copy()
+        part_scores = np.take_along_axis(block, part, axis=1)
+        part_ids = np.take_along_axis(cand_ids, part, axis=1)
+        order = np.lexsort((part_ids, -part_scores))
+        indices[local:local + num_rows] = np.take_along_axis(part_ids, order, axis=1)
+        scores[local:local + num_rows] = np.take_along_axis(part_scores, order, axis=1)
+        # Candidates ascend within a row, so the padded matrix's argmax is
+        # the first-index maximiser over the computed cells — the same
+        # position-0 contract the exhaustive engine keeps for mutual-NN.
+        first = block.argmax(axis=1)
+        indices[local:local + num_rows, 0] = cand_ids[np.arange(num_rows), first]
+
+        # (b) running column max/argmax over the computed cells only.  Per
+        # column pick the block's best value with the lowest source row,
+        # then apply the strictly-greater cross-block update.
+        if len(cols):
+            group = np.lexsort((rows_local, -values, cols))
+            grouped_cols = cols[group]
+            leaders = np.ones(len(group), dtype=bool)
+            leaders[1:] = grouped_cols[1:] != grouped_cols[:-1]
+            lead = group[leaders]
+            lead_cols = cols[lead]
+            improved = values[lead] > col_max[lead_cols]
+            col_max[lead_cols[improved]] = values[lead][improved]
+            col_argmax[lead_cols[improved]] = start + rows_local[lead][improved]
+
+    return PartialTopK(
+        rows=np.arange(row_start, row_stop, dtype=np.int64),
+        indices=indices, scores=scores,
+        col_max=col_max, col_argmax=col_argmax, col_top=None,
+        csls_k_col=0,
+        computed_cells=computed,
     )
 
 
@@ -445,15 +690,17 @@ def _blockwise_topk_candidates(source_states: list[np.ndarray],
                                row_candidates: RowCandidates,
                                k: int, block_size: int, dtype,
                                csls_k: int,
-                               pre_normalized: bool = False) -> TopKSimilarity:
+                               pre_normalized: bool = False,
+                               num_workers: int | None = None) -> TopKSimilarity:
     """Candidate-restricted streaming decode (sparse gather per block).
 
     Only the cells named by ``row_candidates`` are computed — a gathered
-    ``einsum`` per block instead of a block matmul — so FLOPs are
-    ``O(Σ_i |C_i| · d)``.  Row top-k and the running column max/argmax keep
-    the exhaustive engine's deterministic tie semantics *restricted to the
-    computed cells*; the result is flagged ``approximate`` and carries no
-    CSLS statistics (consumers refuse rather than degrade).
+    ``einsum`` per block (or one dense matmul per probed IVF bucket for
+    grouped candidate structures) instead of full block matmuls — so FLOPs
+    are ``O(Σ_i |C_i| · d)``.  Row top-k and the running column max/argmax
+    keep the exhaustive engine's deterministic tie semantics *restricted to
+    the computed cells*; the result is flagged ``approximate`` and carries
+    no CSLS statistics (consumers refuse rather than degrade).
     """
     dtype = np.dtype(dtype)
     if pre_normalized:
@@ -474,83 +721,34 @@ def _blockwise_topk_candidates(source_states: list[np.ndarray],
     # smallest missing column ids appended (a few exact extra dot products),
     # so stored rows never contain padding sentinels.
     row_candidates = row_candidates.padded(k_keep)
-    indptr, cand_indices = row_candidates.indptr, row_candidates.indices
 
-    indices = np.empty((num_source, k_keep), dtype=np.int64)
-    scores = np.empty((num_source, k_keep), dtype=np.float64)
-    col_max = np.full(num_cols, -np.inf, dtype=np.float64)
-    col_argmax = np.zeros(num_cols, dtype=np.int64)
-
-    for start in range(0, num_source, block_size):
-        stop = min(start + block_size, num_source)
-        num_rows = stop - start
-        lo, hi = indptr[start], indptr[stop]
-        cols = cand_indices[lo:hi]
-        counts = np.diff(indptr[start:stop + 1])
-        rows_local = np.repeat(np.arange(num_rows), counts)
-        count_dot_products(len(cols) * num_rounds)
-        values = np.zeros(len(cols), dtype=dtype)
-        for round_index in range(num_rounds):
-            values = values + np.einsum(
-                "ed,ed->e", source_norm[round_index][start + rows_local],
-                target_norm[round_index][cols])
-        values = np.asarray(values, dtype=np.float64)
-        if num_rounds > 1:
-            values = values / num_rounds
-
-        # (a) per-row top-k over the candidate cells.  Rows are padded into
-        # a (num_rows, width) matrix with -inf sentinels; every row holds at
-        # least k_keep real candidates, so sentinels are never selected.
-        width = int(counts.max()) if num_rows else 0
-        block = np.full((num_rows, width), -np.inf, dtype=np.float64)
-        cand_ids = np.zeros((num_rows, width), dtype=np.int64)
-        pos_in_row = np.arange(len(cols)) - np.repeat(np.cumsum(counts) - counts,
-                                                      counts)
-        block[rows_local, pos_in_row] = values
-        cand_ids[rows_local, pos_in_row] = cols
-        if k_keep < width:
-            part = np.argpartition(block, width - k_keep, axis=1)[:, width - k_keep:]
-        else:
-            part = np.broadcast_to(np.arange(width), block.shape).copy()
-        part_scores = np.take_along_axis(block, part, axis=1)
-        part_ids = np.take_along_axis(cand_ids, part, axis=1)
-        order = np.lexsort((part_ids, -part_scores))
-        indices[start:stop] = np.take_along_axis(part_ids, order, axis=1)
-        scores[start:stop] = np.take_along_axis(part_scores, order, axis=1)
-        # Candidates ascend within a row, so the padded matrix's argmax is
-        # the first-index maximiser over the computed cells — the same
-        # position-0 contract the exhaustive engine keeps for mutual-NN.
-        first = block.argmax(axis=1)
-        indices[start:stop, 0] = cand_ids[np.arange(num_rows), first]
-
-        # (b) running column max/argmax over the computed cells only.  Per
-        # column pick the block's best value with the lowest source row,
-        # then apply the strictly-greater cross-block update.
-        if len(cols):
-            group = np.lexsort((rows_local, -values, cols))
-            grouped_cols = cols[group]
-            leaders = np.ones(len(group), dtype=bool)
-            leaders[1:] = grouped_cols[1:] != grouped_cols[:-1]
-            lead = group[leaders]
-            lead_cols = cols[lead]
-            improved = values[lead] > col_max[lead_cols]
-            col_max[lead_cols[improved]] = values[lead][improved]
-            col_argmax[lead_cols[improved]] = start + rows_local[lead][improved]
+    if num_workers is not None and num_workers > 1 and num_source > 1:
+        from .sharded import scan_partials_parallel
+        partial = merge_partial_topk(scan_partials_parallel(
+            source_norm, target_norm, kind="candidates",
+            num_workers=num_workers, block_size=block_size,
+            k_keep=k_keep, row_candidates=row_candidates, dtype=dtype))
+        count_dot_products(partial.computed_cells)
+    else:
+        partial = compute_partial_topk_candidates(
+            source_norm, target_norm, row_candidates, 0, num_source,
+            k_keep=k_keep, block_size=block_size, dtype=dtype)
 
     return TopKSimilarity(
         shape=(num_source, num_cols),
         k=k_keep,
         csls_k=csls_k,
-        indices=indices,
-        scores=scores,
-        col_max=col_max,
-        col_argmax=col_argmax,
+        indices=partial.indices,
+        scores=partial.scores,
+        col_max=partial.col_max,
+        col_argmax=partial.col_argmax,
         row_knn_mean=np.full(num_source, np.nan),
         col_knn_mean=np.full(num_cols, np.nan),
         columns=None,
         dtype=dtype,
         approximate=True,
         computed_cells=row_candidates.total * num_rounds,
+        worker_rss_mb=partial.worker_rss_mb,
         _source_norm=source_norm,
         _target_norm=target_norm,
     )

@@ -52,7 +52,7 @@ from ..data.synthetic import SyntheticPairConfig, generate_pair
 from .reporting import ExperimentResult
 from .runner import ExperimentScale, PROMINENT_MODELS, QUICK_SCALE, build_task, train_model
 
-__all__ = ["run_efficiency", "measure_peak_memory"]
+__all__ = ["run_efficiency", "measure_peak_memory", "max_rss_mb"]
 
 #: Entity scales at which the decode-path comparison is profiled (on top of
 #: the training-task scale itself).
@@ -62,15 +62,48 @@ DECODE_SCALES = (1000, 3000)
 #: (full-graph vs neighbour-sampled) comparison.
 TRAIN_SCALE_ENTITIES = 800
 
+#: Worker counts profiled by the sharded-decode comparison (the serial
+#: engine is always profiled first as the baseline).
+SHARDED_WORKER_COUNTS = (2, 4)
 
-def _max_rss_mb() -> float:
-    if resource is None:
-        return float("nan")
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+def _rusage_mb(who: int) -> float:
+    usage = resource.getrusage(who).ru_maxrss
     # ru_maxrss is bytes on macOS, KiB on Linux and the other BSDs.
     if sys.platform == "darwin":
         return usage / (1024.0 * 1024.0)
     return usage / 1024.0
+
+
+def max_rss_mb(worker_rss_mb: float = 0.0) -> float:
+    """Resident-set high-water mark of this process *and* its workers (MB).
+
+    The parent figure alone (``RUSAGE_SELF``) silently under-reports any
+    multi-process stage: a forked decode worker's tables live in the child,
+    not the parent.  ``RUSAGE_CHILDREN`` does not fix that — POSIX defines
+    it as the high-water mark of the single largest *terminated* child, not
+    a sum over a pool — so it is folded in only as a floor, and callers
+    profiling sharded decodes pass the exact per-worker sum the workers
+    self-reported (``TopKSimilarity.worker_rss_mb``), which takes precedence
+    when it is larger.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return float("nan")
+    children = max(_rusage_mb(resource.RUSAGE_CHILDREN), worker_rss_mb)
+    return _rusage_mb(resource.RUSAGE_SELF) + children
+
+
+def _worker_rss_of(result) -> float:
+    """The summed worker RSS a profiled result self-reports, if any.
+
+    Sharded decodes return a :class:`~repro.core.similarity.TopKSimilarity`
+    (possibly inside a tuple) whose ``worker_rss_mb`` carries the exact sum
+    of the forked workers' peaks — the figure ``RUSAGE_CHILDREN`` cannot
+    provide for a pool.
+    """
+    items = result if isinstance(result, tuple) else (result,)
+    return max((float(getattr(item, "worker_rss_mb", 0.0)) for item in items),
+               default=0.0)
 
 
 def measure_peak_memory(fn, *args, **kwargs):
@@ -80,9 +113,10 @@ def measure_peak_memory(fn, *args, **kwargs):
     overhead that would skew comparison with the untraced rows of the same
     table); ``peak_mb`` is the tracemalloc high-water mark of a second,
     traced run (numpy registers its buffers with tracemalloc, so transient
-    similarity matrices are captured); ``rss_mb`` is the process-wide
-    resident-set high-water mark afterwards — monotone across calls,
-    reported so the JSON also carries an OS-level figure.
+    similarity matrices are captured); ``rss_mb`` is the resident-set
+    high-water mark afterwards — parent plus child processes (see
+    :func:`max_rss_mb`), monotone across calls, reported so the JSON also
+    carries an OS-level figure.
     """
     gc.collect()
     start = time.perf_counter()
@@ -95,7 +129,7 @@ def measure_peak_memory(fn, *args, **kwargs):
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
-    return result, seconds, peak / 1e6, _max_rss_mb()
+    return result, seconds, peak / 1e6, max_rss_mb(_worker_rss_of(result))
 
 
 def _dense_decode_pipeline(source: np.ndarray, target: np.ndarray) -> int:
@@ -210,6 +244,57 @@ def _profile_ann_decode_paths(result: ExperimentResult, dataset: str,
         )
 
 
+def _sharded_decode(source: np.ndarray, target: np.ndarray,
+                    num_workers: int | None):
+    """One exhaustive streamed decode, serial or forked-sharded."""
+    with flops_counter() as counter:
+        topk = blockwise_topk(source, target, k=10, block_size=512,
+                              num_workers=num_workers)
+    return topk, counter.cells
+
+
+def _profile_sharded_decode_paths(result: ExperimentResult, dataset: str,
+                                  source: np.ndarray, target: np.ndarray,
+                                  num_entities: int,
+                                  worker_counts=SHARDED_WORKER_COUNTS) -> None:
+    """Serial vs multi-process sharded decode on one embedding pair.
+
+    The sharded rows report the *true* multi-process memory: the parent's
+    peak plus the sum of every forked worker's self-reported peak
+    (``rss_mb`` via :func:`max_rss_mb`; the per-worker sum alone is also
+    recorded as ``worker_rss_mb``).  ``identical`` pins the sharded
+    bit-identity guarantee — merged results match the serial engine's
+    arrays exactly, not approximately.
+    """
+    serial: tuple | None = None
+    for num_workers in (None, *worker_counts):
+        (topk, cells), seconds, peak_mb, rss_mb = measure_peak_memory(
+            _sharded_decode, source, target, num_workers)
+        if serial is None:
+            serial = (topk, seconds)
+            label, workers, speedup = "decode-sharded-serial", 1, 1.0
+            identical = True
+        else:
+            label, workers = f"decode-sharded-w{num_workers}", num_workers
+            speedup = serial[1] / seconds if seconds > 0 else float("inf")
+            identical = (np.array_equal(topk.indices, serial[0].indices)
+                         and np.array_equal(topk.scores, serial[0].scores))
+        result.add_row(
+            dataset=dataset,
+            model=label,
+            entities=num_entities,
+            train_seconds=0.0,
+            decode_seconds=round(seconds, 4),
+            peak_mb=round(peak_mb, 2),
+            rss_mb=round(rss_mb, 1),
+            worker_rss_mb=round(topk.worker_rss_mb, 1),
+            workers=workers,
+            flops_fraction=round(cells / (len(source) * len(target)), 4),
+            speedup=round(speedup, 2),
+            identical=identical,
+        )
+
+
 def _training_pipeline(task, sampling: str, fanouts):
     """Train a fresh DESAlign on ``task`` with one training strategy.
 
@@ -315,6 +400,11 @@ def run_efficiency(scale: ExperimentScale = QUICK_SCALE,
         _profile_decode_paths(result, "synthetic", source, target, num_entities)
         _profile_ann_decode_paths(result, "synthetic", source, target,
                                   num_entities)
+    # Serial vs forked-sharded decode at the last profiled scale: the
+    # sharded rows carry the parent+workers RSS sum and the bit-identity pin.
+    if decode_scales:
+        _profile_sharded_decode_paths(result, "synthetic", source, target,
+                                      num_entities)
 
     # Training-path comparison: full-graph vs neighbour-sampled mini-batches
     # on a sparse pair beyond the dense backend's comfort zone.

@@ -46,6 +46,7 @@ from ..core.compat import spec_driven
 from ..core.registries import build_model_from_spec
 from ..core.similarity import (DEFAULT_BLOCK_SIZE, TopKSimilarity,
                                _blockwise_topk_candidates, blockwise_topk)
+from ..core.store import EmbeddingStore
 from ..core.task import PreparedTask, prepare_task
 from ..core.trainer import Trainer, TrainingResult
 from ..data.benchmarks import load_benchmark
@@ -56,14 +57,22 @@ from ..robustness.operators import perturb_pair, perturb_task
 from .spec import CUSTOM_DATASET, PipelineSpec
 
 __all__ = ["AlignmentPipeline", "Aligner", "TopKAlignment",
-           "SPEC_FILENAME", "PARAMS_FILENAME", "DECODE_FILENAME"]
+           "SPEC_FILENAME", "PARAMS_FILENAME", "DECODE_FILENAME",
+           "STORE_DIRNAME"]
 
 #: Artifact directory layout written by :meth:`Aligner.save`.
 SPEC_FILENAME = "spec.json"
 PARAMS_FILENAME = "params.npz"
-DECODE_FILENAME = "decode.npz"
+DECODE_FILENAME = "decode.npz"       # v1 artifacts (member zip)
+STORE_DIRNAME = "store"              # v2 artifacts (shard-aligned .npy store)
 
-_ARTIFACT_VERSION = 1
+#: Current artifact format: decode payloads live in an
+#: :class:`~repro.core.store.EmbeddingStore` directory of mappable ``.npy``
+#: files.  v1 (everything zipped into ``decode.npz``) is still read
+#: byte-compatibly by :meth:`Aligner.load` and written on request by
+#: :meth:`Aligner.save`.
+_ARTIFACT_VERSION = 2
+_LEGACY_ARTIFACT_VERSION = 1
 
 
 @dataclass
@@ -304,7 +313,8 @@ class Aligner:
         if cached is None:
             source_states, target_states = self.decode_states()
             cached = blockwise_topk(source_states, target_states, k=k,
-                                    row_candidates=self.row_candidates())
+                                    row_candidates=self.row_candidates(),
+                                    num_workers=self.spec.decode.num_workers)
             self._topk_cache[k] = cached
         return cached
 
@@ -516,35 +526,53 @@ class Aligner:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory) -> Path:
+    def save(self, directory, *, format_version: int = _ARTIFACT_VERSION) -> Path:
         """Persist spec + parameters + decode payloads under ``directory``.
 
         Writes ``spec.json`` (the validated spec plus artifact metadata),
         ``params.npz`` (the model's state dict, when a model is attached)
-        and ``decode.npz`` (the cached per-round states, the candidate
-        CSR if any, and the train/test splits).  :meth:`load` rebuilds an
-        aligner whose ``align``/``rank`` reproduce this one's decode
-        bit-identically, because they consume these exact arrays.
+        and the decode payloads — the cached per-round states, the
+        candidate CSR (plus its IVF bucket map when grouped) and the
+        train/test splits.  :meth:`load` rebuilds an aligner whose
+        ``align``/``rank`` reproduce this one's decode bit-identically,
+        because they consume these exact arrays.
+
+        ``format_version=2`` (the default) lays the payloads out as an
+        :class:`~repro.core.store.EmbeddingStore` — shard-aligned ``.npy``
+        files that ``load(mmap=True)`` maps natively, the out-of-core
+        serving layout.  ``format_version=1`` writes the legacy
+        ``decode.npz`` member zip for consumers pinned to the old layout.
         """
+        if format_version not in (_LEGACY_ARTIFACT_VERSION, _ARTIFACT_VERSION):
+            raise ValueError(f"unsupported artifact format_version "
+                             f"{format_version!r}")
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
 
         source_states, target_states = self.decode_states()
         candidates = self.row_candidates()
 
-        arrays: dict[str, np.ndarray] = {}
-        for index, state in enumerate(source_states):
-            arrays[f"source_state_{index}"] = np.asarray(state)
-        for index, state in enumerate(target_states):
-            arrays[f"target_state_{index}"] = np.asarray(state)
-        if self._train_pairs is not None:
-            arrays["train_pairs"] = np.asarray(self._train_pairs)
-        if self._test_pairs is not None:
-            arrays["test_pairs"] = np.asarray(self._test_pairs)
-        if candidates is not None:
-            arrays["candidates_indptr"] = candidates.indptr
-            arrays["candidates_indices"] = candidates.indices
-        np.savez_compressed(directory / DECODE_FILENAME, **arrays)
+        if format_version == _LEGACY_ARTIFACT_VERSION:
+            arrays: dict[str, np.ndarray] = {}
+            for index, state in enumerate(source_states):
+                arrays[f"source_state_{index}"] = np.asarray(state)
+            for index, state in enumerate(target_states):
+                arrays[f"target_state_{index}"] = np.asarray(state)
+            if self._train_pairs is not None:
+                arrays["train_pairs"] = np.asarray(self._train_pairs)
+            if self._test_pairs is not None:
+                arrays["test_pairs"] = np.asarray(self._test_pairs)
+            if candidates is not None:
+                arrays["candidates_indptr"] = candidates.indptr
+                arrays["candidates_indices"] = candidates.indices
+            np.savez_compressed(directory / DECODE_FILENAME, **arrays)
+        else:
+            EmbeddingStore.create(
+                directory / STORE_DIRNAME,
+                source_states=source_states, target_states=target_states,
+                row_candidates=candidates,
+                train_pairs=self._train_pairs, test_pairs=self._test_pairs,
+                block_size=DEFAULT_BLOCK_SIZE)
 
         target_params = directory / PARAMS_FILENAME
         if self.model is not None:
@@ -556,7 +584,7 @@ class Aligner:
             shutil.copyfile(self._params_path, target_params)
 
         payload = {
-            "format_version": _ARTIFACT_VERSION,
+            "format_version": format_version,
             "spec": self.spec.to_dict(),
             "num_rounds": len(source_states),
             "num_targets": int(np.asarray(target_states[0]).shape[0]),
@@ -582,12 +610,13 @@ class Aligner:
         them).
 
         ``mmap=True`` memory-maps the decode payloads read-only instead of
-        loading them into process memory: the ``decode.npz`` members are
-        unpacked once into a ``.mmap_cache/`` directory beside the
-        artifact and each array is ``np.load(..., mmap_mode="r")``-mapped,
-        so serving worker pools (and co-hosted processes) share a single
-        page-cache copy of the embedding tables and row gathers touch only
-        the pages they read.
+        loading them into process memory, so serving worker pools (and
+        co-hosted processes) share a single page-cache copy of the
+        embedding tables and row gathers touch only the pages they read.
+        v2 artifacts map their :class:`~repro.core.store.EmbeddingStore`
+        files natively; v1 artifacts unpack the ``decode.npz`` members
+        once into a ``.mmap_cache/`` directory beside the artifact and map
+        those.
         """
         directory = Path(directory)
         spec_path = directory / SPEC_FILENAME
@@ -595,28 +624,39 @@ class Aligner:
             raise FileNotFoundError(f"no {SPEC_FILENAME} under {directory}")
         payload = json.loads(spec_path.read_text())
         version = payload.get("format_version")
-        if version != _ARTIFACT_VERSION:
+        if version not in (_LEGACY_ARTIFACT_VERSION, _ARTIFACT_VERSION):
             raise ValueError(f"unsupported artifact format_version {version!r} "
-                             f"(this build reads {_ARTIFACT_VERSION})")
+                             f"(this build reads "
+                             f"{_LEGACY_ARTIFACT_VERSION}..{_ARTIFACT_VERSION})")
         spec = PipelineSpec.from_dict(payload["spec"])
-
-        if mmap:
-            arrays = _mmap_npz(directory / DECODE_FILENAME,
-                               directory / ".mmap_cache")
-        else:
-            with np.load(directory / DECODE_FILENAME) as loaded:
-                arrays = {name: loaded[name] for name in loaded.files}
         rounds = int(payload["num_rounds"])
-        states = ([arrays[f"source_state_{i}"] for i in range(rounds)],
-                  [arrays[f"target_state_{i}"] for i in range(rounds)])
-        train_pairs = arrays.get("train_pairs")
-        test_pairs = arrays.get("test_pairs")
-        row_candidates = None
-        if payload.get("has_candidates"):
-            row_candidates = RowCandidates(
-                indptr=arrays["candidates_indptr"],
-                indices=arrays["candidates_indices"],
-                num_columns=int(payload["num_targets"]))
+
+        if version == _ARTIFACT_VERSION:
+            store = EmbeddingStore.open(directory / STORE_DIRNAME, mmap=mmap)
+            states = store.states()
+            train_pairs = store.train_pairs
+            test_pairs = store.test_pairs
+            row_candidates = store.row_candidates()
+        else:
+            # v1 migration path: the same arrays, zipped into decode.npz.
+            # Bytes on disk are read as written by the v1 writer — the
+            # regression test pins decode equality against a v2 load.
+            if mmap:
+                arrays = _mmap_npz(directory / DECODE_FILENAME,
+                                   directory / ".mmap_cache")
+            else:
+                with np.load(directory / DECODE_FILENAME) as loaded:
+                    arrays = {name: loaded[name] for name in loaded.files}
+            states = ([arrays[f"source_state_{i}"] for i in range(rounds)],
+                      [arrays[f"target_state_{i}"] for i in range(rounds)])
+            train_pairs = arrays.get("train_pairs")
+            test_pairs = arrays.get("test_pairs")
+            row_candidates = None
+            if payload.get("has_candidates"):
+                row_candidates = RowCandidates(
+                    indptr=arrays["candidates_indptr"],
+                    indices=arrays["candidates_indices"],
+                    num_columns=int(payload["num_targets"]))
 
         params_path: Path | None = None
         if payload.get("has_model"):

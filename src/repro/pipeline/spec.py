@@ -169,6 +169,10 @@ class DecodeSpec:
     (``full`` / ``sampled`` + batch size), ranking (``cosine`` / ``csls``)
     and candidate generation (``exhaustive`` or a registered generator,
     with an optional :class:`~repro.core.ann.AnnConfig`).
+
+    ``num_workers`` shards the full-table decode across that many forked
+    worker processes (:mod:`repro.core.sharded`) — bit-identical to the
+    single-process decode; ``None`` keeps the in-process scan.
     """
 
     decode: str = "auto"
@@ -179,6 +183,7 @@ class DecodeSpec:
     candidates: str = "exhaustive"
     ann: AnnConfig | None = None
     use_propagation: bool = True
+    num_workers: int | None = None
 
     def __post_init__(self) -> None:
         rules.check_decode_method(self.decode)
@@ -189,6 +194,8 @@ class DecodeSpec:
             raise ValueError("k must be positive")
         if self.encode_batch_size is not None and self.encode_batch_size <= 0:
             raise ValueError("encode_batch_size must be positive")
+        if self.num_workers is not None and self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DecodeSpec":

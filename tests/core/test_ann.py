@@ -422,3 +422,119 @@ class TestDecodeDispatch:
         escalated = model.similarity(decode="blockwise", k=10, candidates="ivf",
                                      ann=AnnConfig(exact_escalation=True, seed=0))
         assert recall_at_k(escalated.indices, exact.indices, k=1) == 1.0
+
+
+class TestBucketGroupedGather:
+    def test_bucket_gather_matches_edge_gather_topk(self, clustered_embeddings):
+        """Grouped GEMM gathers keep the decode's ids exactly and its scores
+        to the one-ulp BLAS reassociation bound."""
+        source, target = clustered_embeddings
+        edge = decode_similarity(source, target, decode="blockwise", k=5,
+                                 candidates="ivf",
+                                 ann=AnnConfig(seed=0, nprobe=3))
+        bucket = decode_similarity(source, target, decode="blockwise", k=5,
+                                   candidates="ivf",
+                                   ann=AnnConfig(seed=0, nprobe=3,
+                                                 gather="bucket"))
+        assert np.array_equal(edge.indices, bucket.indices)
+        np.testing.assert_allclose(edge.scores, bucket.scores, atol=1e-12)
+
+    def test_bucket_gather_preserved_through_padding(self, clustered_embeddings):
+        from repro.core.ann import GroupedRowCandidates
+
+        source, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=6, seed=0)
+        grouped = GroupedRowCandidates.from_candidates(
+            index.candidates(source, nprobe=2), index.assignments)
+        padded = grouped.padded(8)
+        assert isinstance(padded, GroupedRowCandidates)
+        assert np.array_equal(padded.bucket_of, grouped.bucket_of)
+
+    def test_bucket_gather_counts_covering_rectangle_flops(
+            self, clustered_embeddings):
+        source, target = clustered_embeddings
+        with flops_counter() as edge_counter:
+            decode_similarity(source, target, decode="blockwise", k=5,
+                              candidates="ivf", ann=AnnConfig(seed=0, nprobe=2))
+        with flops_counter() as bucket_counter:
+            decode_similarity(source, target, decode="blockwise", k=5,
+                              candidates="ivf",
+                              ann=AnnConfig(seed=0, nprobe=2, gather="bucket"))
+        # The dense per-bucket rectangles compute at least the edge cells,
+        # and both stay below the exhaustive n_s * n_t grid.
+        assert bucket_counter.cells >= edge_counter.cells
+        assert bucket_counter.cells < len(source) * len(target)
+
+    def test_lsh_rejects_bucket_gather(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        with pytest.raises(ValueError, match="bucket"):
+            generate_candidates("lsh", source, target,
+                                AnnConfig(seed=0, gather="bucket"))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="gather"):
+            AnnConfig(gather="bogus")
+        with pytest.raises(ValueError, match="adaptive_slack"):
+            AnnConfig(adaptive_slack=-0.1)
+        with pytest.raises(ValueError, match="train_size"):
+            AnnConfig(train_size=0)
+
+
+class TestAdaptiveNprobe:
+    def test_zero_slack_equals_exact_escalation(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=8, seed=0)
+        exact = index.escalated_candidates(source)
+        adaptive = index.escalated_candidates(source, slack=0.0)
+        assert np.array_equal(exact.indptr, adaptive.indptr)
+        assert np.array_equal(exact.indices, adaptive.indices)
+
+    def test_positive_slack_cuts_candidates_but_keeps_strong_top1(
+            self, clustered_embeddings):
+        source, target = clustered_embeddings
+        exact = blockwise_topk(source, target, k=1)
+        tight = generate_candidates(
+            "ivf", source, target,
+            AnnConfig(seed=0, exact_escalation=True))
+        loose = generate_candidates(
+            "ivf", source, target,
+            AnnConfig(seed=0, exact_escalation=True, adaptive_slack=0.5))
+        assert loose.total < tight.total
+        approx = blockwise_topk(source, target, k=1, row_candidates=loose)
+        assert recall_at_k(approx.indices, exact.indices, k=1) >= 0.9
+
+    def test_slack_grows_monotonically_cheaper(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=8, seed=0)
+        totals = [index.escalated_candidates(source, slack=slack).total
+                  for slack in (0.0, 0.2, 0.6)]
+        assert totals[0] >= totals[1] >= totals[2]
+
+
+class TestTrainSizeSubsampling:
+    def test_subsampled_build_partitions_everything(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=6, seed=0, train_size=40)
+        assert np.array_equal(np.sort(index.bucket_indices),
+                              np.arange(len(target)))
+        distances = np.linalg.norm(
+            target - index.centroids[index.assignments], axis=1)
+        for cluster in range(index.n_clusters):
+            mask = index.assignments == cluster
+            if mask.any():
+                assert distances[mask].max() <= index.radii[cluster] + 1e-12
+
+    def test_train_size_at_least_population_is_identical(
+            self, clustered_embeddings):
+        _, target = clustered_embeddings
+        full = IVFIndex(target, n_clusters=6, seed=3)
+        capped = IVFIndex(target, n_clusters=6, seed=3, train_size=10 ** 9)
+        assert np.array_equal(full.centroids, capped.centroids)
+        assert np.array_equal(full.assignments, capped.assignments)
+
+    def test_config_train_size_reaches_generation(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        cands = generate_candidates(
+            "ivf", source, target,
+            AnnConfig(seed=0, nprobe=2, train_size=50))
+        assert cands is not None and cands.total > 0

@@ -1,0 +1,93 @@
+"""Entry-point plugin discovery for the component registries."""
+
+import importlib.metadata
+import warnings
+
+import pytest
+
+from repro.core import registries
+
+
+class _FakeEntryPoint:
+    def __init__(self, name, loader):
+        self.name = name
+        self.value = f"fake.module:{name}"
+        self._loader = loader
+
+    def load(self):
+        return self._loader()
+
+
+@pytest.fixture
+def fresh_scan(monkeypatch):
+    """Force the (idempotent) entry-point scan to re-run for this test."""
+    monkeypatch.setattr(registries, "_PLUGINS_LOADED", False)
+
+
+def _install_entry_points(monkeypatch, points):
+    def fake_entry_points(*, group):
+        assert group == registries.PLUGIN_ENTRY_POINT_GROUP
+        return points
+
+    monkeypatch.setattr(importlib.metadata, "entry_points", fake_entry_points)
+
+
+def test_plugin_registration_reaches_the_registries(monkeypatch, fresh_scan):
+    def plugin():
+        @registries.register_model("PluginAligner")
+        def build(task, **kwargs):  # pragma: no cover - never instantiated
+            return None
+
+    _install_entry_points(monkeypatch, [_FakeEntryPoint("demo", plugin)])
+    try:
+        assert registries.load_entry_point_plugins(force=True) == ["demo"]
+        assert "PluginAligner" in registries.model_names()
+    finally:
+        registries.MODEL_REGISTRY.pop("PluginAligner", None)
+        registries._MODEL_INFO.pop("PluginAligner", None)
+
+
+def test_scan_runs_once_unless_forced(monkeypatch, fresh_scan):
+    calls = []
+    _install_entry_points(
+        monkeypatch, [_FakeEntryPoint("counted", lambda: calls.append(1))])
+    assert registries.load_entry_point_plugins() == ["counted"]
+    assert registries.load_entry_point_plugins() == []
+    assert registries.load_entry_point_plugins(force=True) == ["counted"]
+    assert len(calls) == 2
+
+
+def test_broken_plugin_is_skipped_with_a_warning(monkeypatch, fresh_scan):
+    def broken():
+        raise RuntimeError("boom")
+
+    def good():
+        pass
+
+    _install_entry_points(monkeypatch, [_FakeEntryPoint("broken", broken),
+                                        _FakeEntryPoint("good", good)])
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        loaded = registries.load_entry_point_plugins(force=True)
+    assert loaded == ["good"]
+    assert any("broken" in str(w.message) for w in caught)
+
+
+def test_registry_miss_triggers_discovery(monkeypatch, fresh_scan):
+    def plugin():
+        @registries.register_model("LazyAligner")
+        def build(task, **kwargs):
+            return ("built", task)
+
+    _install_entry_points(monkeypatch, [_FakeEntryPoint("lazy", plugin)])
+    try:
+        assert registries.build_model("LazyAligner", "task") == ("built", "task")
+    finally:
+        registries.MODEL_REGISTRY.pop("LazyAligner", None)
+        registries._MODEL_INFO.pop("LazyAligner", None)
+
+
+def test_unknown_name_still_raises_after_discovery(monkeypatch, fresh_scan):
+    _install_entry_points(monkeypatch, [])
+    with pytest.raises(KeyError, match="unknown model"):
+        registries.build_model("NoSuchAligner", "task")

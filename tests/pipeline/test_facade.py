@@ -279,10 +279,17 @@ class TestPersistence:
         assert np.array_equal(mapped.align().scores, plain.align().scores)
         assert np.array_equal(mapped.rank([0, 5]).scores,
                               plain.rank([0, 5]).scores)
-        # a second mmap load reuses the extracted cache (stamp unchanged)
-        stamp = directory / ".mmap_cache" / "source.stamp"
+        # v2 maps the store's .npy files natively — no extraction cache
+        assert not (directory / ".mmap_cache").exists()
+        # v1 artifacts unpack decode.npz once and reuse the extraction
+        # (stamp unchanged on the second mapped load)
+        legacy = fitted.save(tmp_path / "legacy", format_version=1)
+        legacy_mapped = Aligner.load(legacy, mmap=True)
+        assert np.array_equal(legacy_mapped.align().scores,
+                              plain.align().scores)
+        stamp = legacy / ".mmap_cache" / "source.stamp"
         token = stamp.read_text()
-        again = Aligner.load(directory, mmap=True)
+        again = Aligner.load(legacy, mmap=True)
         assert stamp.read_text() == token
         assert np.array_equal(again.align().scores, plain.align().scores)
 

@@ -131,6 +131,21 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown dataset 'WN18'"):
             PipelineSpec(data=DataSpec(dataset="WN18")).validate()
 
+    def test_decode_num_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            DecodeSpec(num_workers=0)
+        spec = PipelineSpec(decode=DecodeSpec(num_workers=4))
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_ann_gather_and_slack_round_trip_and_validate(self):
+        spec = PipelineSpec(decode=DecodeSpec(
+            candidates="ivf",
+            ann=AnnConfig(gather="bucket", adaptive_slack=0.25,
+                          train_size=1000)))
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="gather"):
+            AnnConfig(gather="grouped")
+
     def test_csls_ranking_refuses_approximate_candidates(self):
         with pytest.raises(ValueError, match="CSLS"):
             PipelineSpec(decode=DecodeSpec(ranking="csls",

@@ -95,7 +95,7 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert "model=DESAlign" in output
         assert "H@1=" in output
-        for filename in ("spec.json", "params.npz", "decode.npz"):
+        for filename in ("spec.json", "params.npz", "store/store.json"):
             assert (artifact / filename).exists(), filename
         payload = json.loads(metrics_path.read_text())
         assert payload["spec"]["model"]["name"] == "DESAlign"
