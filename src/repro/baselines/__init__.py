@@ -77,9 +77,13 @@ def _modal_baseline_from_spec(model_cls, **config_defaults):
 # Registration order fixes the registry's (insertion) ordering used by the
 # CLI's --model listing: basic models first, DESAlign last, as in Table IV.
 register_model("TransE", spec_builder=_transe_from_spec)(TransE)
-register_model("GCN-align", spec_builder=_modal_baseline_from_spec(GCNAlign))(GCNAlign)
+# GCN-align and EVA fuse row-independently through joint_from_modal, so
+# the neighbour-sampled training/inference path is exact for them.
+register_model("GCN-align", spec_builder=_modal_baseline_from_spec(GCNAlign),
+               supports_sampling=True)(GCNAlign)
 register_model("PoE", spec_builder=_modal_baseline_from_spec(PoE))(PoE)
-register_model("EVA", spec_builder=_modal_baseline_from_spec(EVA))(EVA)
+register_model("EVA", spec_builder=_modal_baseline_from_spec(EVA),
+               supports_sampling=True)(EVA)
 register_model("MCLEA",
                spec_builder=_modal_baseline_from_spec(MCLEA, gnn="gat"))(MCLEA)
 register_model("MEAformer",

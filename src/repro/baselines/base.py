@@ -20,10 +20,11 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..core.compat import warn_legacy
-from ..core.config import MODALITY_ORDER
+from ..core.config import DEFAULT_ENCODE_BATCH, MODALITY_ORDER
 from ..core.similarity import decode_similarity
 from ..core.losses import bidirectional_contrastive_loss
 from ..core.task import PreparedTask
+from ..kg.sampling import NeighbourSampler, SubgraphView, attention_pattern
 from ..nn import GAT, GCN, Linear, Module, ModuleDict, Parameter, init
 
 __all__ = ["BaselineConfig", "ModalBaselineModel"]
@@ -92,6 +93,9 @@ class ModalBaselineModel(Module):
                 continue
             self.projections[modality] = Linear(task.feature_dims[modality], hidden, rng)
         self._rng = rng
+        # Full-neighbourhood samplers for batched inference, built lazily
+        # once per side (cf. DESAlign._eval_samplers).
+        self._eval_samplers: dict[str, NeighbourSampler] = {}
 
     # ------------------------------------------------------------------
     # Encoding helpers
@@ -117,9 +121,125 @@ class ModalBaselineModel(Module):
                     Tensor(prepared.features.features[modality]))
         return embeddings
 
+    def joint_from_modal(self, modal: dict[str, Tensor]) -> Tensor:
+        """Row-independent fusion of per-modality embeddings into the joint.
+
+        Baselines whose fusion treats entities independently (GCN-Align's
+        identity on the structure channel, EVA's globally-weighted
+        concatenation) implement the fusion here; :meth:`joint_embedding`
+        and the subgraph encoding path both route through it, which is what
+        makes ``sampling="neighbour"`` / ``encode="sampled"`` numerically
+        exact for them.  Baselines with entity-coupled objectives keep
+        overriding :meth:`joint_embedding` instead and stay full-graph.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a row-independent "
+            f"fusion (joint_from_modal); neighbour-sampled encoding is "
+            f"unavailable for it")
+
     def joint_embedding(self, side: str) -> Tensor:
-        """Joint entity embedding used for decoding; overridden per baseline."""
-        raise NotImplementedError
+        """Joint entity embedding used for decoding.
+
+        Defaults to :meth:`joint_from_modal` over the full-graph modal
+        embeddings; baselines with entity-coupled fusions override this
+        directly.
+        """
+        return self.joint_from_modal(self.modal_embeddings(side))
+
+    # ------------------------------------------------------------------
+    # Neighbour-sampled encoding
+    # ------------------------------------------------------------------
+    def neighbour_sampler(self, side: str, fanouts=None, seed: int = 0) -> NeighbourSampler:
+        """Layer-wise neighbour sampler over one side's GNN operator.
+
+        A GCN channel samples the *normalised adjacency* with unbiased
+        ``degree / fanout`` rescaling, so a sampled ``spmm`` aggregation
+        estimates the full one; a GAT channel samples the binary
+        :func:`~repro.kg.sampling.attention_pattern` (attention ignores
+        edge weights, so rescaling is moot).  In both cases
+        full-neighbourhood fanouts reproduce the full-graph forward
+        bit-for-bit on the seed rows.
+        """
+        prepared = self._prepared(side)
+        if self.gnn is None:
+            raise ValueError(
+                f"{type(self).__name__} has no structural GNN channel "
+                f"(gnn={self.config.gnn!r}); neighbour sampling requires "
+                f"gnn='gcn' or gnn='gat'")
+        if fanouts is None:
+            fanouts = (None,) * self.config.gnn_layers
+        if len(fanouts) != self.config.gnn_layers:
+            raise ValueError(f"need one fanout per GNN layer "
+                             f"({self.config.gnn_layers}), got {len(fanouts)}")
+        if isinstance(self.gnn, GCN):
+            return NeighbourSampler(prepared.normalized_adjacency, fanouts,
+                                    seed=seed, rescale=True)
+        return NeighbourSampler(attention_pattern(prepared.adjacency), fanouts,
+                                seed=seed, rescale=False)
+
+    def modal_embeddings_subgraph(self, side: str,
+                                  view: SubgraphView) -> dict[str, Tensor]:
+        """Per-modality embeddings restricted to a sampled subgraph.
+
+        The structural channel runs the GNN on the renumbered blocks (only
+        ``view.input_nodes`` rows of the embedding table participate); the
+        FC channels are row-independent and simply slice the seed rows.
+        """
+        prepared = self._prepared(side)
+        node_ids = view.seed_nodes
+        embeddings: dict[str, Tensor] = {}
+        for modality in self.config.modalities:
+            if modality == "graph":
+                table = self._parameters[self._structure_keys[side]].index_select(
+                    view.input_nodes)
+                embeddings["graph"] = self.gnn(table, view)
+            else:
+                embeddings[modality] = self.projections[modality](
+                    Tensor(prepared.features.features[modality][node_ids]))
+        return embeddings
+
+    def encode_subgraph(self, side: str, view: SubgraphView) -> Tensor:
+        """Joint embeddings of the view's seed rows (sampled forward)."""
+        return self.joint_from_modal(self.modal_embeddings_subgraph(side, view))
+
+    def subgraph_loss(self, source_view: SubgraphView, target_view: SubgraphView,
+                      source_index: np.ndarray, target_index: np.ndarray,
+                      source_local: np.ndarray | None = None,
+                      target_local: np.ndarray | None = None) -> Tensor:
+        """Contrastive loss over seed pairs encoded through sampled subgraphs.
+
+        Mirrors :meth:`repro.core.model.DESAlign.subgraph_loss` so the
+        neighbour-sampled training loop drives any baseline implementing
+        :meth:`joint_from_modal` unchanged; on full-neighbourhood views it
+        is numerically identical to :meth:`loss`.
+        """
+        source = self.encode_subgraph("source", source_view)
+        target = self.encode_subgraph("target", target_view)
+        if source_local is None:
+            source_local = source_view.global_to_local(source_index)
+        if target_local is None:
+            target_local = target_view.global_to_local(target_index)
+        return self.contrastive(source, target, source_local, target_local)
+
+    def encode_entities_sampled(self, side: str,
+                                batch_size: int = DEFAULT_ENCODE_BATCH) -> np.ndarray:
+        """Joint embeddings of *all* entities via batched subgraph forwards."""
+        prepared = self._prepared(side)
+        sampler = self._eval_samplers.get(side)
+        if sampler is None:
+            sampler = self.neighbour_sampler(side)
+            self._eval_samplers[side] = sampler
+        num_entities = prepared.num_entities
+        embeddings: np.ndarray | None = None
+        with no_grad():
+            for start in range(0, num_entities, batch_size):
+                seeds = np.arange(start, min(start + batch_size, num_entities))
+                view = sampler.sample(seeds)
+                values = self.encode_subgraph(side, view).numpy()
+                if embeddings is None:
+                    embeddings = np.empty((num_entities, values.shape[1]))
+                view.scatter_rows(values, embeddings)
+        return embeddings
 
     # ------------------------------------------------------------------
     # Aligner interface
@@ -144,13 +264,18 @@ class ModalBaselineModel(Module):
         pipeline facade can cache and persist any registered aligner's
         decode inputs uniformly.  ``use_propagation`` means "use the
         propagation decoder if you have one" and is ignored here exactly as
-        :meth:`similarity` ignores it; the baselines have no
-        sampled-inference path, so that switch is rejected rather than
-        silently ignored.
+        :meth:`similarity` ignores it.  ``encode="sampled"`` computes the
+        joints through batched subgraph forwards — available to baselines
+        implementing :meth:`joint_from_modal` with a GNN channel (GCN-Align,
+        EVA); entity-coupled baselines raise from that hook instead.
         """
         del use_propagation  # no propagation decoder: single-state decode
-        if encode != "full":
-            raise ValueError(f"{type(self).__name__} only supports encode='full'")
+        if encode not in {"full", "sampled"}:
+            raise ValueError("encode must be 'full' or 'sampled'")
+        if encode == "sampled":
+            batch = encode_batch_size or DEFAULT_ENCODE_BATCH
+            return ([self.encode_entities_sampled("source", batch_size=batch)],
+                    [self.encode_entities_sampled("target", batch_size=batch)])
         with no_grad():
             source = self.joint_embedding("source").numpy()
             target = self.joint_embedding("target").numpy()
@@ -158,6 +283,7 @@ class ModalBaselineModel(Module):
 
     def similarity(self, use_propagation: bool = False, decode: str = "auto",
                    k: int = 10, block_size: int | None = None,
+                   encode: str = "full", encode_batch_size: int | None = None,
                    candidates: str = "exhaustive", ann=None):
         """Cosine similarity between joint embeddings (no propagation decoder).
 
@@ -170,14 +296,15 @@ class ModalBaselineModel(Module):
         switches outside the facade emit a ``DeprecationWarning`` with the
         spec equivalent.
         """
-        if decode != "auto" or candidates != "exhaustive":
+        if decode != "auto" or candidates != "exhaustive" or encode != "full":
             warn_legacy(
                 f"{type(self).__name__}.similarity(decode={decode!r}, "
-                f"candidates={candidates!r})",
-                f"declare DecodeSpec(decode={decode!r}, candidates={candidates!r}) "
-                "in PipelineSpec.decode and call Aligner.align() / "
-                "Aligner.evaluate()")
-        [source], [target] = self.decode_states()
+                f"encode={encode!r}, candidates={candidates!r})",
+                f"declare DecodeSpec(decode={decode!r}, encode={encode!r}, "
+                f"candidates={candidates!r}) in PipelineSpec.decode and call "
+                "Aligner.align() / Aligner.evaluate()")
+        [source], [target] = self.decode_states(
+            encode=encode, encode_batch_size=encode_batch_size)
         ann = self._resolve_ann(candidates, ann)
         return decode_similarity(source, target, decode=decode, k=k,
                                  block_size=block_size, candidates=candidates,

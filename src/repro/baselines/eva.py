@@ -34,8 +34,10 @@ class EVA(ModalBaselineModel):
         """Softmax-normalised global modality weights (one scalar per modality)."""
         return softmax(self.modality_logits, axis=-1)
 
-    def joint_embedding(self, side: str) -> Tensor:
-        modal = self.modal_embeddings(side)
+    def joint_from_modal(self, modal: dict[str, Tensor]) -> Tensor:
+        # Global scalar weights + per-row L2 normalisation: every output
+        # row depends only on its own input rows, so the fusion is
+        # row-independent (neighbour-sampling safe).
         weights = self.global_modality_weights()
         weighted = []
         for index, modality in enumerate(self.config.modalities):

@@ -32,8 +32,10 @@ class GCNAlign(ModalBaselineModel):
                                     backend=config.backend)
         super().__init__(task, config)
 
-    def joint_embedding(self, side: str) -> Tensor:
-        return self.modal_embeddings(side)["graph"]
+    def joint_from_modal(self, modal: dict[str, Tensor]) -> Tensor:
+        # Structure-only: the GCN output is the joint embedding, making
+        # the fusion trivially row-independent (neighbour-sampling safe).
+        return modal["graph"]
 
     def loss(self, source_index: np.ndarray, target_index: np.ndarray) -> Tensor:
         source = self.joint_embedding("source")

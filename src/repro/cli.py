@@ -28,6 +28,12 @@ Five sub-commands cover the common workflows without writing any Python:
     :class:`~repro.pipeline.PerturbationSpec` injection) and print the
     degradation summary; ``--fast`` smokes a tiny grid.
 
+``python -m repro.cli ingest --artifact DIR --delta FILE``
+    Fold a JSON delta batch (new entities/triples/features/seed pairs)
+    into a saved artifact without a re-fit: warm-start encoding over the
+    delta's receptive field, online IVF inserts and a selective re-decode
+    (see :mod:`repro.incremental`).
+
 ``python -m repro.cli datasets``
     List the benchmark presets and the 60-split evaluation suite.
 """
@@ -90,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--entities", default=None,
                        help="comma-separated source entity ids (default: all)")
     align.add_argument("--format", choices=["json", "tsv"], default="json")
+    align.add_argument("--num-workers", type=int, default=None,
+                       help="decode worker processes for the sharded "
+                            "blockwise decode (default: the spec's setting)")
     align.add_argument("--output", default=None,
                        help="write the pairs here instead of stdout")
 
@@ -118,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "inserts through a TinyLFU-style sketch so "
                             "one-shot churn cannot evict the hot set; "
                             "'lru' admits everything (default frequency)")
+    serve.add_argument("--num-workers", type=int, default=None,
+                       help="decode worker processes for full-table decodes "
+                            "(default: the spec's setting)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="default per-request deadline in seconds "
                             "(default 30)")
@@ -175,6 +187,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--output", default=None,
                             help="optional path for a JSON copy of the results")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="fold a JSON delta batch into a saved artifact "
+                       "(warm-start incremental update, no re-fit)")
+    ingest.add_argument("--artifact", required=True,
+                        help="directory written by Aligner.save / run --save")
+    ingest.add_argument("--delta", required=True,
+                        help="JSON delta batch (see repro.incremental.DeltaBatch)")
+    ingest.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for the updated artifact "
+                             "(default: <artifact>-updated)")
 
     subparsers.add_parser("datasets", help="list benchmark presets and the 60-split suite")
     return parser
@@ -236,8 +259,23 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_num_workers(aligner: Aligner, num_workers: int | None) -> Aligner:
+    """Apply a ``--num-workers`` override through ``with_decode``.
+
+    Only the worker count changes, so every decode cache (states,
+    candidates) carries over and the results stay bit-identical — the
+    sharded decode is partition-invariant.
+    """
+    if num_workers is None:
+        return aligner
+    from dataclasses import replace
+
+    return aligner.with_decode(replace(aligner.spec.decode,
+                                       num_workers=num_workers))
+
+
 def _command_align(args: argparse.Namespace) -> int:
-    aligner = Aligner.load(args.artifact)
+    aligner = _with_num_workers(Aligner.load(args.artifact), args.num_workers)
     if args.entities:
         entity_ids = [int(token) for token in args.entities.split(",") if token]
         table = aligner.rank(entity_ids, k=args.k)
@@ -272,8 +310,10 @@ def _command_serve(args: argparse.Namespace, stdin=None, stdout=None) -> int:
             worker_death_rate=args.fault_worker_death_rate,
             seed=args.fault_seed)
         print(f"fault injection ON: {injector.stats()}", file=sys.stderr)
-    engine = ServingEngine.from_artifact(
-        args.artifact, mmap=not args.no_mmap,
+    aligner = _with_num_workers(
+        Aligner.load(args.artifact, mmap=not args.no_mmap), args.num_workers)
+    engine = ServingEngine(
+        aligner,
         batch_window=args.batch_window, max_batch=args.max_batch,
         pool_size=args.pool_size, queue_size=args.queue_size,
         cache_size=args.cache_size, default_timeout=args.timeout,
@@ -335,6 +375,17 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    from .incremental import DeltaBatch, IncrementalAligner
+
+    out = args.out if args.out else args.artifact.rstrip("/") + "-updated"
+    incremental = IncrementalAligner.from_artifact(args.artifact)
+    report = incremental.ingest(DeltaBatch.load(args.delta), directory=out)
+    payload = dict(report.to_dict(), artifact=out)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _command_datasets() -> int:
     print("Benchmark presets:")
     for dataset in ALL_DATASETS:
@@ -361,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_robustness(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "datasets":
         return _command_datasets()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

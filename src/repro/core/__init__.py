@@ -38,7 +38,7 @@ from .ann import (
     recall_at_k,
     resolve_ann,
 )
-from .store import EmbeddingStore
+from .store import EmbeddingStore, MissingStoreError, StoreError
 from .sharded import shard_boundaries
 from .similarity import (
     TopKSimilarity,
@@ -102,6 +102,8 @@ __all__ = [
     "recall_at_k",
     "resolve_ann",
     "EmbeddingStore",
+    "MissingStoreError",
+    "StoreError",
     "shard_boundaries",
     "TopKSimilarity",
     "blockwise_topk",

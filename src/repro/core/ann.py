@@ -642,6 +642,10 @@ class IVFIndex:
             np.maximum.at(radii, chunk_assignments,
                           np.linalg.norm(deltas, axis=1))
         self.radii = radii
+        #: Vectors appended by :meth:`insert` since this fit — the
+        #: staleness counter incremental callers consult to schedule a
+        #: :meth:`refit` re-quantisation.
+        self.num_inserted = 0
 
     # ------------------------------------------------------------------
     def _assign(self, vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
@@ -679,6 +683,54 @@ class IVFIndex:
         return max(1, self.n_clusters // 10)
 
     # ------------------------------------------------------------------
+    def insert(self, new_vectors: np.ndarray) -> np.ndarray:
+        """Online insert: bucket new vectors by nearest centroid, no re-train.
+
+        The centroids stay fixed; the new vectors are appended (their ids
+        continue the existing range), assigned to their nearest centroid,
+        and the bucket CSR is rebuilt with one stable argsort — ids remain
+        ascending within every bucket, preserving the candidate decode's
+        tie semantics.  Bucket radii only grow, so
+        :meth:`escalated_candidates` bounds stay valid.  Returns the new
+        vectors' bucket assignments; ``num_inserted`` accumulates until a
+        :meth:`refit` re-quantises (quantisation quality degrades slowly as
+        inserts pile up, which is the staleness that counter measures).
+        """
+        new_vectors = np.asarray(new_vectors, dtype=np.float64)
+        if new_vectors.ndim != 2 or new_vectors.shape[1] != self.vectors.shape[1]:
+            raise ValueError(
+                f"new vectors must be 2-D with dim {self.vectors.shape[1]}")
+        if len(new_vectors) == 0:
+            return np.empty(0, dtype=np.int64)
+        assignments = self._assign(new_vectors, self.centroids)
+        # Concatenation materialises a memory-mapped base; incremental
+        # deltas are small relative to the index so this stays bounded.
+        self.vectors = np.concatenate(
+            [np.asarray(self.vectors, dtype=np.float64), new_vectors])
+        self.assignments = np.concatenate([self.assignments, assignments])
+        order = np.argsort(self.assignments, kind="stable")
+        self.bucket_indices = order.astype(np.int64)
+        bucket_counts = np.bincount(self.assignments, minlength=self.n_clusters)
+        self.bucket_indptr = np.zeros(self.n_clusters + 1, dtype=np.int64)
+        np.cumsum(bucket_counts, out=self.bucket_indptr[1:])
+        deltas = new_vectors - self.centroids[assignments]
+        np.maximum.at(self.radii, assignments, np.linalg.norm(deltas, axis=1))
+        self.num_inserted += len(new_vectors)
+        return assignments
+
+    def refit(self, *, kmeans_iters: int = 8, seed: int = 0,
+              train_size: int | None = None) -> "IVFIndex":
+        """Re-quantise every vector, warm-started from the current centroids.
+
+        The subsampled (``train_size=``) k-means starts from this index's
+        centroids, so Lloyd refines rather than re-derives the cells; the
+        returned index covers all vectors (inserted ones included) with a
+        reset staleness counter.
+        """
+        return IVFIndex(self.vectors, n_clusters=self.n_clusters,
+                        kmeans_iters=kmeans_iters, seed=seed,
+                        init_centroids=self.centroids, train_size=train_size)
+
     def candidates(self, queries: np.ndarray, nprobe: int | None = None) -> RowCandidates:
         """Members of each query's ``nprobe`` best-scoring buckets."""
         queries = np.asarray(queries, dtype=np.float64)

@@ -38,8 +38,26 @@ from numpy.lib.format import open_memmap
 
 from .ann import GroupedRowCandidates, RowCandidates
 
-__all__ = ["EmbeddingStore", "write_npy_chunked", "allocate_npy",
-           "STORE_MANIFEST"]
+__all__ = ["EmbeddingStore", "StoreError", "MissingStoreError",
+           "write_npy_chunked", "allocate_npy", "STORE_MANIFEST"]
+
+
+class StoreError(RuntimeError):
+    """A store directory is unreadable or inconsistent with its manifest.
+
+    Raised instead of whatever raw ``OSError`` / ``ValueError`` numpy
+    produced, naming the store directory and the shard at fault so a
+    corrupted artifact is diagnosable from the message alone.
+    """
+
+
+class MissingStoreError(StoreError, FileNotFoundError):
+    """No ``store.json`` manifest under the directory.
+
+    Subclasses :class:`FileNotFoundError` too, so callers that probed for
+    the manifest's existence with ``except FileNotFoundError`` keep
+    working.
+    """
 
 STORE_MANIFEST = "store.json"
 
@@ -159,16 +177,47 @@ class EmbeddingStore:
         directory = Path(directory)
         manifest_path = directory / STORE_MANIFEST
         if not manifest_path.exists():
-            raise FileNotFoundError(f"no {STORE_MANIFEST} under {directory}")
+            raise MissingStoreError(f"no {STORE_MANIFEST} under {directory}")
         manifest = json.loads(manifest_path.read_text())
         version = manifest.get("store_version")
         if version != _STORE_VERSION:
             raise ValueError(f"unsupported store_version {version!r} "
                              f"(this build reads {_STORE_VERSION})")
-        arrays = {name: np.load(directory / f"{name}.npy",
-                                mmap_mode="r" if mmap else None)
-                  for name in manifest["arrays"]}
+        arrays: dict[str, np.ndarray] = {}
+        for name in manifest["arrays"]:
+            shard = directory / f"{name}.npy"
+            try:
+                arrays[name] = np.load(shard, mmap_mode="r" if mmap else None)
+            except FileNotFoundError as error:
+                raise StoreError(
+                    f"store under {directory} lists shard {name!r} in its "
+                    f"manifest but {shard.name} is missing") from error
+            except (OSError, ValueError) as error:
+                raise StoreError(
+                    f"shard {shard.name} under {directory} is unreadable "
+                    f"(truncated or corrupt): {error}") from error
+        cls._check_shapes(directory, manifest, arrays)
         return cls(directory, manifest, arrays)
+
+    @staticmethod
+    def _check_shapes(directory: Path, manifest: dict,
+                      arrays: dict[str, np.ndarray]) -> None:
+        """Validate shard shapes against the manifest's row counts."""
+        expected_rows = {}
+        for index in range(int(manifest["num_rounds"])):
+            expected_rows[f"source_state_{index}"] = int(manifest["num_source"])
+            expected_rows[f"target_state_{index}"] = int(manifest["num_targets"])
+        if manifest.get("has_candidates"):
+            expected_rows["candidates_indptr"] = int(manifest["num_source"]) + 1
+        for name, rows in expected_rows.items():
+            array = arrays.get(name)
+            if array is None:
+                raise StoreError(f"store under {directory} is missing the "
+                                 f"{name!r} shard required by its manifest")
+            if array.shape[0] != rows:
+                raise StoreError(
+                    f"shard {name}.npy under {directory} has "
+                    f"{array.shape[0]} rows but the manifest expects {rows}")
 
     # ------------------------------------------------------------------
     @property

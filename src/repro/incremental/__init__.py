@@ -1,0 +1,31 @@
+"""Incremental alignment: delta ingestion over a fitted artifact.
+
+The subsystem folds arriving entities, triples, features and seed pairs
+into a fitted aligner without a re-fit, in work proportional to the delta:
+
+.. code-block:: python
+
+    from repro.incremental import DeltaBatch, IncrementalAligner
+
+    incremental = IncrementalAligner.from_artifact("artifacts/run")
+    report = incremental.ingest(DeltaBatch.load("delta.json"),
+                                directory="artifacts/run-next")
+    print(report.rows_encoded, report.rows_decoded, report.seconds)
+
+See :mod:`repro.incremental.delta` for the place-preserving task
+extension and :mod:`repro.incremental.aligner` for the warm-encode /
+IVF-insert / selective-re-decode lifecycle.  Live promotion into a
+running server goes through :meth:`repro.serve.ServingEngine.ingest`.
+"""
+
+from .aligner import IncrementalAligner, IngestReport
+from .delta import DeltaApplication, DeltaBatch, SideDelta, apply_delta
+
+__all__ = [
+    "DeltaBatch",
+    "SideDelta",
+    "DeltaApplication",
+    "apply_delta",
+    "IncrementalAligner",
+    "IngestReport",
+]

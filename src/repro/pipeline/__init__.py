@@ -35,8 +35,8 @@ from .facade import (
     SPEC_FILENAME,
     TopKAlignment,
 )
-from .spec import (CUSTOM_DATASET, DataSpec, DecodeSpec, ModelSpec,
-                   PerturbationSpec, PipelineSpec)
+from .spec import (CUSTOM_DATASET, DataSpec, DecodeSpec, DeltaSpec,
+                   ModelSpec, PerturbationSpec, PipelineSpec)
 
 __all__ = [
     "AlignmentPipeline",
@@ -47,6 +47,7 @@ __all__ = [
     "ModelSpec",
     "DecodeSpec",
     "PerturbationSpec",
+    "DeltaSpec",
     "CUSTOM_DATASET",
     "SPEC_FILENAME",
     "PARAMS_FILENAME",

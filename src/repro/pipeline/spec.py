@@ -39,7 +39,7 @@ from ..core.registries import model_names, model_supports_sampling
 from ..data.benchmarks import ALL_DATASETS
 
 __all__ = ["DataSpec", "ModelSpec", "DecodeSpec", "PerturbationSpec",
-           "PipelineSpec", "CUSTOM_DATASET"]
+           "DeltaSpec", "PipelineSpec", "CUSTOM_DATASET"]
 
 #: ``DataSpec.dataset`` value declaring that the pair is supplied by the
 #: caller (``AlignmentPipeline.fit(pair)``) instead of a benchmark preset.
@@ -295,6 +295,57 @@ class PerturbationSpec:
         return cls(**_check_keys(cls, payload, "perturbation"))
 
 
+@dataclass(frozen=True)
+class DeltaSpec:
+    """How the incremental subsystem ingests delta batches.
+
+    The all-default section changes nothing about a non-incremental run
+    (specs and artifacts written before it existed load unchanged); it
+    only parameterises ``repro ingest`` /
+    :meth:`~repro.serve.ServingEngine.ingest`.  ``fanouts`` bound the
+    warm-encode receptive field per GNN layer (``None`` keeps the model's
+    full neighbourhood, which keeps re-encoded rows bit-compatible with
+    the full encode); ``encode_batch_size`` sizes the sampled re-encode
+    batches (``None`` follows the decode section / model default);
+    ``refit_threshold`` is the fraction of moved-or-inserted IVF vectors
+    tolerated before the quantiser is re-trained, via
+    ``refit_train_size``-subsampled k-means warm-started from the current
+    centroids; ``seed`` drives the per-batch feature/parameter streams.
+    """
+
+    fanouts: tuple | None = None
+    encode_batch_size: int | None = None
+    refit_threshold: float = 0.25
+    refit_train_size: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fanouts is not None:
+            object.__setattr__(
+                self, "fanouts",
+                tuple(None if f is None else int(f) for f in self.fanouts))
+            for fanout in self.fanouts:
+                if fanout is not None and fanout <= 0:
+                    raise ValueError("fanouts must be positive or None, got "
+                                     f"{fanout!r}")
+        if self.encode_batch_size is not None and self.encode_batch_size <= 0:
+            raise ValueError("encode_batch_size must be positive, got "
+                             f"{self.encode_batch_size!r}")
+        if self.refit_threshold <= 0.0:
+            raise ValueError("refit_threshold must be positive, got "
+                             f"{self.refit_threshold!r}")
+        if self.refit_train_size is not None and self.refit_train_size <= 0:
+            raise ValueError("refit_train_size must be positive, got "
+                             f"{self.refit_train_size!r}")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeltaSpec":
+        data = _check_keys(cls, payload, "delta")
+        if "fanouts" in data:
+            data["fanouts"] = _tuple_or_none(data["fanouts"])
+        return cls(**data)
+
+
 def _training_from_dict(payload: dict) -> TrainingConfig:
     data = _check_keys(TrainingConfig, payload, "training")
     if "fanouts" in data:
@@ -316,6 +367,10 @@ class PipelineSpec:
     #: so specs and artifacts written before this section existed load
     #: unchanged).
     perturbation: PerturbationSpec = field(default_factory=PerturbationSpec)
+    #: Incremental-ingestion parameters (the default is inert outside
+    #: ``repro ingest`` / ``ServingEngine.ingest``, so older specs and
+    #: artifacts load unchanged).
+    delta: DeltaSpec = field(default_factory=DeltaSpec)
 
     # ------------------------------------------------------------------
     # Validation (the single home of every cross-field legality rule)
@@ -379,6 +434,7 @@ class PipelineSpec:
             "training": _section_to_dict(self.training),
             "decode": _section_to_dict(self.decode),
             "perturbation": _section_to_dict(self.perturbation),
+            "delta": _section_to_dict(self.delta),
         }
 
     @classmethod
@@ -386,7 +442,8 @@ class PipelineSpec:
         """Build and validate a spec from a (possibly partial) nested dict."""
         if not isinstance(payload, dict):
             raise ValueError("a pipeline spec must be a JSON object")
-        known = {"data", "model", "training", "decode", "perturbation"}
+        known = {"data", "model", "training", "decode", "perturbation",
+                 "delta"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ValueError(f"unknown top-level key(s) {unknown} in pipeline "
@@ -398,6 +455,7 @@ class PipelineSpec:
             decode=DecodeSpec.from_dict(payload.get("decode", {})),
             perturbation=PerturbationSpec.from_dict(
                 payload.get("perturbation", {})),
+            delta=DeltaSpec.from_dict(payload.get("delta", {})),
         )
         return spec.validate()
 

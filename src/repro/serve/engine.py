@@ -129,6 +129,9 @@ class ServingEngine:
         self._swap_pending = False
         self._inflight = 0
         self._closed = False
+        #: Lazily built incremental wrapper reused across ingest() calls
+        #: (it carries the warm IVF quantiser and the cached decode table).
+        self._incremental = None
 
         self._metrics = threading.Lock()
         self._requests = 0
@@ -342,6 +345,11 @@ class ServingEngine:
         """
         num_source = self._prewarm(aligner)
         fingerprint = aligner.decode_fingerprint()
+        # An externally supplied artifact invalidates the incremental
+        # wrapper (its cached states/index describe the previous lineage).
+        if (self._incremental is not None
+                and self._incremental.aligner is not aligner):
+            self._incremental = None
         with self._state:
             if self._closed:
                 raise ServingError("shutdown", "the serving engine is closed")
@@ -364,6 +372,37 @@ class ServingEngine:
     def swap_artifact(self, directory, *, mmap: bool = True) -> dict:
         """Load a new artifact directory and :meth:`swap` to it."""
         return self.swap(Aligner.load(Path(directory), mmap=mmap))
+
+    def ingest(self, delta, *, directory=None) -> dict:
+        """Fold a delta batch into the served artifact and promote it live.
+
+        The updated artifact is built entirely off to the side — warm
+        encode, IVF inserts and the selective re-decode all run on the
+        caller's thread against a private
+        :class:`~repro.incremental.IncrementalAligner`, while the engine
+        keeps serving the current generation — then promoted through the
+        same prewarm–drain–:meth:`swap` path as any other artifact, so no
+        request ever observes a mixed-generation decode.  ``directory``
+        optionally persists the updated artifact.  Serialise concurrent
+        callers externally; the engine only synchronises the promotion.
+        """
+        from ..incremental import IncrementalAligner
+
+        if self._incremental is None:
+            with self._state:
+                aligner = self._aligner
+            self._incremental = IncrementalAligner(aligner)
+        report = self._incremental.ingest(delta, directory=directory)
+        payload = report.to_dict()
+        if report.noop:
+            # Bit-exact no-op: nothing to promote, the served artifact
+            # already answers every query the updated one would.
+            with self._state:
+                payload.update(generation=self._generation,
+                               fingerprint=self._fingerprint, evicted=0)
+            return payload
+        payload.update(self.swap(report.aligner))
+        return payload
 
     @property
     def generation(self) -> int:

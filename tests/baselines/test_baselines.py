@@ -130,3 +130,59 @@ class TestTrainingBehaviour:
                                 iterative_rounds=1, iterative_epochs=5, seed=0)
         result = Trainer(model, tiny_task, config).fit()
         assert len(result.history.pseudo_pairs) == 1
+
+
+class TestNeighbourSampling:
+    """GCN-based baselines share the neighbour-sampled encoder path."""
+
+    @pytest.mark.parametrize("name", ["GCN-align", "EVA"])
+    def test_full_fanout_sampled_encode_matches_full(self, name, tiny_task):
+        model = build_model(name, tiny_task)
+        for side in ("source", "target"):
+            full = model.joint_embedding(side).numpy()
+            sampled = model.encode_entities_sampled(side, batch_size=7)
+            np.testing.assert_allclose(sampled, full, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["GCN-align", "EVA"])
+    def test_full_fanout_subgraph_loss_matches_full(self, name, tiny_task):
+        model = build_model(name, tiny_task)
+        source_index, target_index = tiny_task.seed_arrays()
+        source_view = model.neighbour_sampler("source").sample(source_index)
+        target_view = model.neighbour_sampler("target").sample(target_index)
+        sampled = model.subgraph_loss(source_view, target_view,
+                                      source_index, target_index)
+        full = model.loss(source_index, target_index)
+        np.testing.assert_allclose(sampled.item(), full.item(), rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["GCN-align", "EVA"])
+    def test_sampled_decode_states_match_full(self, name, tiny_task):
+        model = build_model(name, tiny_task)
+        [full_src], [full_tgt] = model.decode_states()
+        [src], [tgt] = model.decode_states(encode="sampled", encode_batch_size=9)
+        np.testing.assert_allclose(src, full_src, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(tgt, full_tgt, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["GCN-align", "EVA"])
+    def test_neighbour_sampled_training_runs(self, name, tiny_task):
+        model = build_model(name, tiny_task)
+        config = TrainingConfig(epochs=2, eval_every=0, sampling="neighbour",
+                                fanouts=(3, 3), batch_size=8, seed=0)
+        result = Trainer(model, tiny_task, config).fit()
+        assert np.isfinite(result.history.losses).all()
+
+    def test_registry_capability_flags(self):
+        from repro.core.registries import model_supports_sampling
+        for name in ("GCN-align", "EVA", "DESAlign"):
+            assert model_supports_sampling(name)
+        for name in ("TransE", "PoE", "MCLEA", "MEAformer"):
+            assert not model_supports_sampling(name)
+
+    def test_entity_coupled_baselines_refuse_sampled_encode(self, tiny_task):
+        model = build_model("MCLEA", tiny_task)
+        with pytest.raises(NotImplementedError, match="joint_from_modal"):
+            model.encode_entities_sampled("source")
+
+    def test_gnn_free_baseline_refuses_sampler(self, tiny_task):
+        model = PoE(tiny_task, BaselineConfig(gnn="none", modalities=("graph",)))
+        with pytest.raises(ValueError, match="no structural GNN"):
+            model.neighbour_sampler("source")

@@ -538,3 +538,86 @@ class TestTrainSizeSubsampling:
             "ivf", source, target,
             AnnConfig(seed=0, nprobe=2, train_size=50))
         assert cands is not None and cands.total > 0
+
+
+class TestIVFInsert:
+    """Online inserts: assign-to-nearest-centroid with staleness tracking."""
+
+    def test_insert_extends_buckets_and_preserves_invariants(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target[:-20], n_clusters=8, seed=0)
+        centroids_before = index.centroids.copy()
+        assignments = index.insert(target[-20:])
+        assert np.array_equal(index.centroids, centroids_before)
+        assert index.num_inserted == 20
+        assert len(index.vectors) == len(target)
+        # new vectors sit in their nearest-centroid bucket
+        expected = index._assign(np.asarray(target[-20:], dtype=np.float64),
+                                 index.centroids)
+        assert np.array_equal(assignments, expected)
+        # buckets still partition all ids and stay id-ascending
+        assert np.array_equal(np.sort(index.bucket_indices),
+                              np.arange(len(target)))
+        for cluster in range(index.n_clusters):
+            bucket = index.bucket_indices[
+                index.bucket_indptr[cluster]:index.bucket_indptr[cluster + 1]]
+            assert np.all(index.assignments[bucket] == cluster)
+            assert np.all(np.diff(bucket) > 0)
+
+    def test_radii_still_cover_members_after_insert(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target[:-20], n_clusters=6, seed=1)
+        index.insert(target[-20:])
+        distances = np.linalg.norm(
+            np.asarray(target) - index.centroids[index.assignments], axis=1)
+        for cluster in range(index.n_clusters):
+            mask = index.assignments == cluster
+            if mask.any():
+                assert distances[mask].max() <= index.radii[cluster] + 1e-12
+
+    def test_escalated_candidates_stay_exact_after_insert(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        index = IVFIndex(target[:-30], n_clusters=8, seed=0)
+        index.insert(target[-30:])
+        candidates = index.escalated_candidates(source)
+        exact_top1 = np.argmax(source @ np.asarray(target).T, axis=1)
+        for row in range(len(source)):
+            members = candidates.row(row)
+            scores = source[row] @ np.asarray(target)[members].T
+            assert members[np.argmax(scores)] == exact_top1[row]
+
+    def test_zero_insert_is_noop(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=5, seed=0)
+        before = index.bucket_indices.copy()
+        out = index.insert(np.empty((0, target.shape[1])))
+        assert len(out) == 0
+        assert index.num_inserted == 0
+        assert np.array_equal(index.bucket_indices, before)
+
+    def test_insert_rejects_wrong_dim(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target, n_clusters=5, seed=0)
+        with pytest.raises(ValueError, match="dim"):
+            index.insert(np.zeros((3, target.shape[1] + 1)))
+
+    def test_refit_warm_starts_and_resets_staleness(self, clustered_embeddings):
+        _, target = clustered_embeddings
+        index = IVFIndex(target[:-20], n_clusters=8, seed=0)
+        index.insert(target[-20:])
+        refit = index.refit(seed=3)
+        assert refit.num_inserted == 0
+        assert refit.n_clusters == index.n_clusters
+        assert len(refit.vectors) == len(target)
+        assert np.array_equal(np.sort(refit.bucket_indices), np.arange(len(target)))
+        # warm start + full-set Lloyd: quantisation error never regresses
+        stale = np.linalg.norm(
+            np.asarray(index.vectors) - index.centroids[index.assignments], axis=1).sum()
+        fresh = np.linalg.norm(
+            np.asarray(refit.vectors) - refit.centroids[refit.assignments], axis=1).sum()
+        assert fresh <= stale + 1e-9
+        # subsampled re-quantisation still covers and partitions everything
+        subsampled = index.refit(seed=3, train_size=80)
+        assert subsampled.num_inserted == 0
+        assert np.array_equal(np.sort(subsampled.bucket_indices),
+                              np.arange(len(target)))

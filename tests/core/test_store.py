@@ -9,6 +9,8 @@ from repro.core.ann import GroupedRowCandidates, RowCandidates
 from repro.core.store import (
     STORE_MANIFEST,
     EmbeddingStore,
+    MissingStoreError,
+    StoreError,
     allocate_npy,
     write_npy_chunked,
 )
@@ -134,4 +136,58 @@ class TestEmbeddingStore:
                               target_states=target)
         (directory / STORE_MANIFEST).unlink()
         with pytest.raises(FileNotFoundError):
+            EmbeddingStore.open(directory)
+
+
+class TestStoreErrorPaths:
+    """Corruption raises a diagnosable StoreError, never a raw numpy error."""
+
+    @pytest.fixture
+    def directory(self, tmp_path, states):
+        source, target = states
+        directory = tmp_path / "store"
+        EmbeddingStore.create(directory, source_states=source,
+                              target_states=target,
+                              train_pairs=np.array([[0, 0]]))
+        return directory
+
+    def test_missing_manifest_is_missing_store_error(self, tmp_path, directory):
+        assert issubclass(MissingStoreError, StoreError)
+        assert issubclass(MissingStoreError, FileNotFoundError)
+        with pytest.raises(MissingStoreError, match=STORE_MANIFEST):
+            EmbeddingStore.open(tmp_path / "nothing-here")
+        (directory / STORE_MANIFEST).unlink()
+        with pytest.raises(MissingStoreError):
+            EmbeddingStore.open(directory)
+
+    def test_missing_shard_raises_store_error(self, directory):
+        (directory / "source_state_1.npy").unlink()
+        with pytest.raises(StoreError, match="source_state_1"):
+            EmbeddingStore.open(directory)
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_truncated_shard_raises_store_error(self, directory, mmap):
+        shard = directory / "target_state_0.npy"
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StoreError, match="target_state_0"):
+            EmbeddingStore.open(directory, mmap=mmap)
+
+    def test_gutted_shard_header_raises_store_error(self, directory):
+        (directory / "source_state_0.npy").write_bytes(b"not an npy file")
+        with pytest.raises(StoreError, match="source_state_0"):
+            EmbeddingStore.open(directory)
+
+    def test_manifest_shard_shape_mismatch_raises_store_error(self, directory):
+        manifest = json.loads((directory / STORE_MANIFEST).read_text())
+        manifest["num_source"] = 51
+        (directory / STORE_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="manifest expects 51"):
+            EmbeddingStore.open(directory)
+
+    def test_swapped_shard_raises_store_error(self, directory):
+        """A shard whose rows disagree with the manifest is rejected."""
+        short = np.zeros((3, 8))
+        np.save(directory / "source_state_0.npy", short)
+        with pytest.raises(StoreError, match="source_state_0"):
             EmbeddingStore.open(directory)

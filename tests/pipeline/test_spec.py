@@ -170,8 +170,10 @@ class TestValidation:
                                         eval_every=0)).validate()
 
     def test_neighbour_sampling_needs_capability(self):
+        # MCLEA's intra-modal objectives keep it full-graph; GCN-align and
+        # EVA gained the capability with the incremental subsystem.
         with pytest.raises(ValueError, match="does not support sampling='neighbour'"):
-            PipelineSpec(model=ModelSpec(name="EVA"),
+            PipelineSpec(model=ModelSpec(name="MCLEA"),
                          training=TrainingConfig(sampling="neighbour")).validate()
 
     def test_sampled_encode_needs_capability(self):

@@ -197,6 +197,82 @@ class TestHotSwap:
             assert np.array_equal(final.scores, expected1.scores[ids])
 
 
+class TestIngestPromotion:
+    def test_ingest_promotes_atomically_under_load(self, artifacts):
+        """Concurrent rank() during ingest never sees a mixed generation.
+
+        Every response must come wholly from the pre-ingest artifact or
+        wholly from the promoted one — the prewarm–drain–swap path builds
+        the updated aligner off to the side and switches under the same
+        barrier swap_artifact uses.
+        """
+        from repro.incremental import DeltaBatch, SideDelta
+
+        v1, _, expected1, _ = artifacts
+        with ServingEngine.from_artifact(v1, batch_window=0.001,
+                                         pool_size=4) as engine:
+            ids = [1, 2, 3, 4]
+            before = engine.rank(ids, 5)
+            assert np.array_equal(before.scores, expected1.scores[ids])
+            assert len(engine._cache) > 0
+            # pay the lazy IncrementalAligner warm-start (model rebuild +
+            # quantiser re-derivation) before the load starts
+            assert engine.ingest(DeltaBatch())["noop"]
+            n_s, n_t = Aligner.load(v1).topk(5).shape
+
+            stop = threading.Event()
+            observed, errors = [], []
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        observed.append(engine.rank(ids, 5, timeout=30).scores)
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+                        return
+                    time.sleep(0.001)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.03)
+            info = engine.ingest(DeltaBatch(
+                source=SideDelta(entity_names=["s-live"],
+                                 relation_triples=[(n_s, 0, 1)]),
+                target=SideDelta(entity_names=["t-live"],
+                                 relation_triples=[(n_t, 0, 2)])))
+            time.sleep(0.03)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors[:3]
+            assert info["generation"] == 2
+            assert info["rows_decoded"] > 0
+
+            after = engine.rank(ids, 5)
+            torn = [scores for scores in observed
+                    if not (np.array_equal(scores, expected1.scores[ids])
+                            or np.array_equal(scores, after.scores))]
+            assert not torn
+            # the promoted artifact serves the extended id range
+            grown = engine.rank([n_s], 5)
+            assert grown.scores.shape == (1, 5)
+
+    def test_empty_delta_ingest_is_a_noop(self, artifacts):
+        from repro.incremental import DeltaBatch
+
+        v1, _, expected1, _ = artifacts
+        with ServingEngine.from_artifact(v1, batch_window=0.001) as engine:
+            before = engine.rank([7, 8], 5)
+            info = engine.ingest(DeltaBatch())
+            assert info["generation"] == 1
+            assert info["evicted"] == 0
+            assert engine.stats()["swaps"] == 0
+            after = engine.rank([7, 8], 5)
+            assert np.array_equal(before.scores, after.scores)
+            assert np.array_equal(after.scores, expected1.scores[[7, 8]])
+
+
 class TestBackpressure:
     def test_full_queue_fails_fast_with_overloaded(self, artifacts):
         v1, _, _, _ = artifacts

@@ -179,6 +179,58 @@ class TestAlignCommand:
         output = capsys.readouterr().out
         assert '"alignments"' in output
 
+    def test_align_with_num_workers_matches_default(self, artifact, capsys):
+        assert main(["align", "--artifact", str(artifact), "--k", "3"]) == 0
+        baseline = json.loads(capsys.readouterr().out)
+        assert main(["align", "--artifact", str(artifact), "--k", "3",
+                     "--num-workers", "2"]) == 0
+        assert json.loads(capsys.readouterr().out) == baseline
+
+
+class TestIngestCommand:
+    @pytest.fixture()
+    def ivf_artifact(self, tmp_path):
+        spec_path = write_spec(tmp_path, decode={
+            "k": 4, "candidates": "ivf",
+            "ann": {"n_clusters": 4, "nprobe": 2}})
+        directory = tmp_path / "artifact"
+        assert main(["run", "--config", str(spec_path),
+                     "--save", str(directory)]) == 0
+        return directory
+
+    def test_ingest_folds_a_delta_and_saves(self, ivf_artifact, capsys,
+                                            tmp_path):
+        from repro.pipeline import Aligner
+
+        n_source, _ = Aligner.load(ivf_artifact).topk(4).shape
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(json.dumps({
+            "source": {"entity_names": ["cli-new"],
+                       "relation_triples": [[n_source, 0, 1]]}}))
+        updated = tmp_path / "updated"
+        assert main(["ingest", "--artifact", str(ivf_artifact),
+                     "--delta", str(delta_path),
+                     "--out", str(updated)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["generation"] == 1
+        assert payload["num_new_source"] == 1
+        assert payload["num_new_target"] == 0
+        assert payload["rows_decoded"] > 0
+        assert payload["artifact"] == str(updated)
+        # the promoted artifact serves the extended id range
+        loaded = Aligner.load(updated)
+        assert loaded.rank([n_source], 4).target_ids.shape == (1, 4)
+
+    def test_ingest_default_out_is_artifact_updated(self, ivf_artifact,
+                                                    capsys, tmp_path):
+        delta_path = tmp_path / "empty.json"
+        delta_path.write_text(json.dumps({}))
+        assert main(["ingest", "--artifact", str(ivf_artifact),
+                     "--delta", str(delta_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["noop"] is True
+        assert payload["artifact"] == str(ivf_artifact) + "-updated"
+
 
 #: Per-experiment grid reductions for the CLI smoke run: same runners, same
 #: code paths, but one dataset / ratio / model row each so the whole registry
